@@ -1,0 +1,50 @@
+// Command zipflm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zipflm-bench -list
+//	zipflm-bench -exp tab3
+//	zipflm-bench -exp all [-quick] [-seed 42]
+//
+// Every experiment prints paper-reported values alongside the values this
+// reproduction measures or models, so discrepancies are visible in place.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zipflm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
+		seed  = flag.Uint64("seed", 42, "reproducibility seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-6s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}

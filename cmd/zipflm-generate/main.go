@@ -1,0 +1,119 @@
+// Command zipflm-generate loads a model checkpoint written by zipflm-train
+// (plus, optionally, the matching vocabulary) and samples continuations.
+//
+// Usage:
+//
+//	zipflm-train -input book.txt -save model.ckpt -save-vocab vocab.ckpt ...
+//	zipflm-generate -model model.ckpt -vocab vocab.ckpt -prompt "the cat" -n 30
+//	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -temperature 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zipflm/internal/corpus"
+	"zipflm/internal/model"
+	"zipflm/internal/rng"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model checkpoint (required)")
+		vocabPath = flag.String("vocab", "", "vocabulary file (enables -prompt text)")
+		prompt    = flag.String("prompt", "", "text prompt (requires -vocab)")
+		promptIDs = flag.String("prompt-ids", "", "comma-separated token ids as the prompt")
+		n         = flag.Int("n", 40, "tokens to generate")
+		temp      = flag.Float64("temperature", 1.0, "sampling temperature (0 = greedy)")
+		seed      = flag.Uint64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "zipflm-generate: -model is required")
+		os.Exit(1)
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer mf.Close()
+	m, err := model.Load(mf)
+	if err != nil {
+		fatal(err)
+	}
+
+	var vocab *corpus.Vocabulary
+	if *vocabPath != "" {
+		vf, err := os.Open(*vocabPath)
+		if err != nil {
+			fatal(err)
+		}
+		vocab, err = corpus.LoadVocabulary(vf)
+		vf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if vocab.Size() != m.Cfg.Vocab {
+			fatal(fmt.Errorf("vocabulary size %d does not match model vocabulary %d", vocab.Size(), m.Cfg.Vocab))
+		}
+	}
+
+	ids, err := buildPrompt(*prompt, *promptIDs, vocab, m.Cfg.Vocab)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := m.Generate(ids, *n, *temp, rng.New(*seed))
+	if vocab != nil {
+		words := make([]string, len(out))
+		for i, id := range out {
+			words[i] = vocab.Word(id)
+		}
+		fmt.Println(strings.Join(words, " "))
+		return
+	}
+	strs := make([]string, len(out))
+	for i, id := range out {
+		strs[i] = strconv.Itoa(id)
+	}
+	fmt.Println(strings.Join(strs, ","))
+}
+
+func buildPrompt(text, idCSV string, vocab *corpus.Vocabulary, modelVocab int) ([]int, error) {
+	switch {
+	case text != "" && vocab == nil:
+		return nil, fmt.Errorf("-prompt needs -vocab; use -prompt-ids without one")
+	case text != "":
+		ids := vocab.Encode(corpus.Tokenize(text))
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("prompt tokenized to nothing")
+		}
+		return ids, nil
+	case idCSV != "":
+		parts := strings.Split(idCSV, ",")
+		ids := make([]int, 0, len(parts))
+		for _, p := range parts {
+			id, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad prompt id %q: %w", p, err)
+			}
+			if id < 0 || id >= modelVocab {
+				return nil, fmt.Errorf("prompt id %d outside model vocabulary %d", id, modelVocab)
+			}
+			ids = append(ids, id)
+		}
+		return ids, nil
+	default:
+		// Default prompt: the most frequent real word (id 1).
+		return []int{1 % modelVocab}, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zipflm-generate: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package zipflm is a from-scratch Go reproduction of "Language Modeling at
+// Scale" (Patwary, Chabbi, Jun, Huang, Diamos, Church — IPPS 2019,
+// arXiv:1810.10045): scaling RNN language-model training across many GPUs by
+// exploiting Zipf's law in the embedding-layer gradient exchange.
+//
+// The system lives in internal/ packages (see DESIGN.md for the inventory),
+// is exercised by the runnable programs in cmd/ and examples/, and
+// regenerates every table and figure of the paper's evaluation through
+// cmd/zipflm-bench and the benchmarks in bench_test.go.
+package zipflm

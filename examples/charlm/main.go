@@ -1,0 +1,66 @@
+// Char-LM example: train the paper's character-model architecture (a
+// recurrent highway network with full softmax, §IV-B) on a synthetic
+// English-character corpus and report bits per character, the §V-D metric.
+//
+//	go run ./examples/charlm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
+	"zipflm/internal/metrics"
+	"zipflm/internal/model"
+	"zipflm/internal/optim"
+	"zipflm/internal/trainer"
+)
+
+func main() {
+	// The Amazon-review stand-in: 98-character vocabulary (§IV-A).
+	d, err := corpus.DatasetByName("ar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := d.CharGenerator(3).Stream(90_000)
+	train, valid := corpus.Split(stream, 10, 100, 3)
+
+	cfg := trainer.Config{
+		Model: model.Config{
+			// RHN, scaled down from depth 10 × 1792 cells.
+			Vocab: d.CharVocab + 1, Dim: 16, Hidden: 28,
+			RNN: model.KindRHN, RHNDepth: 3,
+		},
+		Ranks:        4,
+		BatchPerRank: 2,
+		SeqLen:       24,
+		LR:           0.012,
+		Exchange:     core.UniqueExchange{},
+		// §IV-B: "we use Adam with weight decay … for optimizing the
+		// character cross-entropy loss using a full softmax layer."
+		NewOptimizer: func() optim.Optimizer { return optim.NewAdam(1e-5) },
+		BaseSeed:     3,
+	}
+	tr, err := trainer.New(cfg, train, valid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tr.Run(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := metrics.NewTable("Char LM (RHN + full softmax), 4 ranks:",
+		"epoch", "perplexity", "bits/char")
+	for _, ev := range res.Evals {
+		tab.AddRow(fmt.Sprintf("%.1f", ev.Epoch),
+			fmt.Sprintf("%.2f", ev.Perplexity),
+			fmt.Sprintf("%.3f", metrics.BPC(ev.Loss)))
+	}
+	fmt.Print(tab)
+	fmt.Println("\nnote: with a ~98-char vocabulary the unique-word count saturates at |V|")
+	fmt.Printf("      (avg U_g per step: %.0f), so the input-embedding exchange is tiny —\n",
+		res.Stats.AvgInputUnique())
+	fmt.Println("      the paper's char LM wins come from uniqueness + compression (§V-B).")
+}

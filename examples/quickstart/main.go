@@ -1,0 +1,68 @@
+// Quickstart: train a small word language model on a synthetic Zipfian
+// corpus across four simulated GPUs using the paper's unique exchange, and
+// watch validation perplexity fall.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+	"zipflm/internal/trainer"
+)
+
+func main() {
+	// 1. A corpus. Real text works too (corpus.Tokenize +
+	//    corpus.BuildVocabulary); here we synthesize 60K Zipf-distributed
+	//    tokens over a 500-word vocabulary.
+	gen := corpus.NewGenerator(corpus.GeneratorConfig{
+		VocabSize:    499,
+		ZipfExponent: 1.2,
+		Seed:         1,
+	})
+	stream := gen.Stream(60_000)
+	train, valid := corpus.Split(stream, 10, 100, 1)
+
+	// 2. A distributed trainer: 4 simulated GPUs, each with a replica of a
+	//    small LSTM LM, synchronized with the paper's uniqueness exchange
+	//    and Zipf's-freq sampled-softmax seeding.
+	cfg := trainer.Config{
+		Model: model.Config{
+			Vocab: 500, Dim: 24, Hidden: 32,
+			RNN: model.KindLSTM, Sampled: 32,
+		},
+		Ranks:        4,
+		BatchPerRank: 2,
+		SeqLen:       16,
+		LR:           0.3,
+		Exchange:     core.UniqueExchange{},
+		SeedStrategy: sampling.ZipfFreq,
+		BaseSeed:     1,
+	}
+	tr, err := trainer.New(cfg, train, valid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train two epochs, evaluating twice per epoch.
+	res, err := tr.Run(2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range res.Evals {
+		fmt.Printf("epoch %.1f: validation perplexity %.2f\n", ev.Epoch, ev.Perplexity)
+	}
+	fmt.Printf("\nper-rank exchange traffic: %.2f MB\n", float64(res.Stats.WireBytesPerRank)/1e6)
+	fmt.Printf("avg unique words per step: %.0f input, %.0f output (of %d tokens per global batch)\n",
+		res.Stats.AvgInputUnique(), res.Stats.AvgOutputUnique(),
+		cfg.Ranks*cfg.BatchPerRank*cfg.SeqLen)
+	if err := tr.ReplicasInSync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all replicas in sync — the §II-B invariant holds")
+}

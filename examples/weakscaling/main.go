@@ -1,0 +1,73 @@
+// Weak-scaling example — Table V in miniature: grow the cluster and the
+// corpus together (1 → 4 → 8 ranks, data ∝ ranks) so each configuration
+// runs the same number of steps, and watch accuracy improve with data while
+// per-epoch step counts stay flat.
+//
+//	go run ./examples/weakscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
+	"zipflm/internal/metrics"
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+	"zipflm/internal/trainer"
+)
+
+func main() {
+	const perRank = 20_000
+	d, err := corpus.DatasetByName("tieba")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := metrics.NewTable("Weak scaling (Chinese-style char LM, sampled softmax + Zipf's-freq seeding):",
+		"ranks", "train tokens", "steps/epoch", "final ppl", "improvement")
+	var basePPL float64
+	for _, ranks := range []int{1, 4, 8} {
+		gen := corpus.NewGenerator(corpus.GeneratorConfig{
+			VocabSize:    299,
+			ZipfExponent: d.ZipfExponent,
+			Seed:         9,
+		})
+		stream := gen.Stream(perRank*ranks + perRank/2)
+		train, valid := corpus.Split(stream, 10, 100, 9)
+
+		cfg := trainer.Config{
+			Model: model.Config{
+				Vocab: 300, Dim: 16, Hidden: 24,
+				RNN: model.KindRHN, RHNDepth: 2, Sampled: 32,
+			},
+			Ranks:        ranks,
+			BatchPerRank: 2,
+			SeqLen:       16,
+			LR:           0.15,
+			Exchange:     core.UniqueExchange{},
+			SeedStrategy: sampling.ZipfFreq,
+			BaseSeed:     9,
+		}
+		tr, err := trainer.New(cfg, train, valid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Run(2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppl := res.Evals[len(res.Evals)-1].Perplexity
+		if basePPL == 0 {
+			basePPL = ppl
+		}
+		tab.AddRow(fmt.Sprint(ranks), fmt.Sprint(len(train)),
+			fmt.Sprint(tr.StepsPerEpoch()),
+			fmt.Sprintf("%.2f", ppl),
+			fmt.Sprintf("%.0f%%", 100*metrics.AccuracyImprovement(basePPL, ppl)))
+	}
+	fmt.Print(tab)
+	fmt.Println("\npaper (Table V): 32× more data + GPUs costs only 1.25× more wall-clock")
+	fmt.Println("yet improves Tieba perplexity 35% (17.06 → 11.1).")
+}

@@ -1,0 +1,80 @@
+// Word-LM strategy shoot-out: train the same model under the baseline
+// ALLGATHER exchange and the paper's unique exchange (±FP16 compression)
+// and compare accuracy, traffic, and scratch memory — §V-A in miniature.
+//
+//	go run ./examples/wordlm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
+	"zipflm/internal/half"
+	"zipflm/internal/metrics"
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+	"zipflm/internal/trainer"
+)
+
+func main() {
+	gen := corpus.NewGenerator(corpus.GeneratorConfig{
+		VocabSize:    799,
+		ZipfExponent: 1.2,
+		Seed:         7,
+	})
+	stream := gen.Stream(80_000)
+	train, valid := corpus.Split(stream, 10, 100, 7)
+
+	type variant struct {
+		name string
+		ex   core.Exchanger
+		wire *half.Scaler
+	}
+	variants := []variant{
+		{"baseline allgather (FP32)", core.BaselineAllGather{}, nil},
+		{"unique exchange (FP32)", core.UniqueExchange{}, nil},
+		{"unique exchange (FP16 wire)", core.UniqueExchange{}, half.NewScaler(512)},
+	}
+
+	tab := metrics.NewTable("Word LM, 4 ranks, 2 epochs — exchange strategies:",
+		"strategy", "final ppl", "wire/rank", "peak scratch", "avg U_g")
+	for _, v := range variants {
+		cfg := trainer.Config{
+			Model: model.Config{
+				Vocab: 800, Dim: 24, Hidden: 32,
+				RNN: model.KindLSTM, Sampled: 48,
+			},
+			Ranks:        4,
+			BatchPerRank: 2,
+			SeqLen:       16,
+			LR:           0.3,
+			Exchange:     v.ex,
+			Wire:         v.wire,
+			SeedStrategy: sampling.ZipfFreq,
+			BaseSeed:     7,
+		}
+		tr, err := trainer.New(cfg, train, valid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Run(2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(v.name,
+			fmt.Sprintf("%.2f", res.Evals[len(res.Evals)-1].Perplexity),
+			metrics.HumanBytes(res.Stats.WireBytesPerRank),
+			metrics.HumanBytes(res.Stats.PeakMemory),
+			fmt.Sprintf("%.0f", res.Stats.AvgInputUnique()))
+	}
+	fmt.Print(tab)
+	fmt.Println(`
+all three reach identical accuracy — the uniqueness technique "only changes
+the flow of computation" (§V-A) — and FP16 halves the wire volume. At this
+toy scale the dense-parameter all-reduce dominates traffic and the baseline's
+Θ(G·K·D) gather is still affordable; run 'zipflm-bench -exp tab3' and
+'-exp mem' to see the exchange dominate (and the baseline OOM) at the
+paper's 8–64 GPU configuration.`)
+}

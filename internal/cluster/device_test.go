@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAllocFreePeak(t *testing.T) {
+	d := NewDevice(0, 1000)
+	if err := d.Alloc(400); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Live() != 900 || d.Peak() != 900 {
+		t.Fatalf("live=%d peak=%d, want 900/900", d.Live(), d.Peak())
+	}
+	d.Free(500)
+	if d.Live() != 400 || d.Peak() != 900 {
+		t.Fatalf("after free: live=%d peak=%d, want 400/900", d.Live(), d.Peak())
+	}
+	d.ResetPeak()
+	if d.Peak() != 400 {
+		t.Fatalf("ResetPeak: peak=%d, want 400", d.Peak())
+	}
+}
+
+func TestOOM(t *testing.T) {
+	d := NewDevice(3, 100)
+	if err := d.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Alloc(1)
+	var oom *ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	if oom.Device != 3 || oom.Want != 1 || oom.Live != 100 || oom.Capacity != 100 {
+		t.Errorf("OOM fields: %+v", oom)
+	}
+	if oom.Error() == "" {
+		t.Error("empty error string")
+	}
+	// Failed alloc must not change accounting.
+	if d.Live() != 100 {
+		t.Errorf("failed alloc changed live to %d", d.Live())
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	d := NewDevice(0, 0)
+	if err := d.Alloc(1 << 50); err != nil {
+		t.Fatalf("unlimited device refused allocation: %v", err)
+	}
+}
+
+func TestFreeUnderflowPanics(t *testing.T) {
+	d := NewDevice(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free did not panic")
+		}
+	}()
+	d.Free(1)
+}
+
+func TestNegativePanics(t *testing.T) {
+	d := NewDevice(0, 0)
+	for _, f := range []func(){
+		func() { d.Alloc(-1) },
+		func() { d.Free(-1) },
+		func() { d.AddFLOPs(-1) },
+		func() { New(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFLOPCounter(t *testing.T) {
+	d := NewDevice(0, 0)
+	d.AddFLOPs(100)
+	d.AddFLOPs(23)
+	if d.FLOPs() != 123 {
+		t.Errorf("FLOPs = %d, want 123", d.FLOPs())
+	}
+}
+
+func TestClusterRunAllRanks(t *testing.T) {
+	c := New(8, 0)
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	err := c.Run(func(rank int, dev *Device) error {
+		mu.Lock()
+		seen[rank] = true
+		mu.Unlock()
+		dev.AddFLOPs(int64(rank))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("ran %d ranks, want 8", len(seen))
+	}
+	if c.TotalFLOPs() != 0+1+2+3+4+5+6+7 {
+		t.Errorf("TotalFLOPs = %d", c.TotalFLOPs())
+	}
+}
+
+func TestClusterRunErrorPropagates(t *testing.T) {
+	c := New(4, 0)
+	sentinel := errors.New("boom")
+	err := c.Run(func(rank int, dev *Device) error {
+		if rank == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestMaxPeak(t *testing.T) {
+	c := New(3, 0)
+	_ = c.Devices[0].Alloc(10)
+	_ = c.Devices[1].Alloc(500)
+	_ = c.Devices[2].Alloc(300)
+	if got := c.MaxPeak(); got != 500 {
+		t.Errorf("MaxPeak = %d, want 500", got)
+	}
+}
+
+func TestTitanXProfile(t *testing.T) {
+	if TitanXMemoryBytes != 12<<30 {
+		t.Error("Titan X memory must be 12 GB (Table II)")
+	}
+	if TitanXPeakFLOPS != 6.1e12 {
+		t.Error("Titan X peak must be 6.1 TFLOP/s (Table II)")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"zipflm/internal/collective"
+)
+
+// runHierarchical executes the hierarchical exchange on all ranks.
+func runHierarchical(t *testing.T, grads []SparseGrad, groupSize int) ([]Update, []Stats, *collective.Hierarchy) {
+	t.Helper()
+	g := len(grads)
+	hier := collective.NewHierarchy(g, groupSize)
+	ex := HierarchicalExchange{Hier: hier}
+	updates := make([]Update, g)
+	stats := make([]Stats, g)
+	errs := make([]error, g)
+	var wg sync.WaitGroup
+	for r := 0; r < g; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ctx := &Ctx{Rank: rank, Comm: collective.New(1)} // global comm unused
+			updates[rank], stats[rank], errs[rank] = ex.Exchange(ctx, grads[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return updates, stats, hier
+}
+
+// TestHierarchicalMatchesReference: the two-level exchange must produce the
+// same global accumulation as the serial reference on every rank.
+func TestHierarchicalMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ g, groupSize int }{
+		{8, 4}, {8, 8}, {6, 4}, {9, 3}, {4, 1}, {5, 2},
+	} {
+		grads := makeGrads(tc.g, 40, 6, 80, uint64(tc.g*10+tc.groupSize))
+		updates, _, _ := runHierarchical(t, grads, tc.groupSize)
+		ref := referenceUpdate(grads)
+		for rank, u := range updates {
+			if len(u.Indices) != len(ref) {
+				t.Fatalf("g=%d n=%d rank=%d: %d unique, want %d",
+					tc.g, tc.groupSize, rank, len(u.Indices), len(ref))
+			}
+			for i, w := range u.Indices {
+				want := ref[w]
+				for c, v := range u.Rows.Row(i) {
+					if math.Abs(float64(v)-want[c]) > 1e-3 {
+						t.Fatalf("g=%d n=%d rank=%d word=%d col=%d: %v vs %v",
+							tc.g, tc.groupSize, rank, w, c, v, want[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHierarchicalEquivalentToFlat: hierarchical and flat unique exchanges
+// agree with each other (both match the reference; this checks the index
+// ordering contract too).
+func TestHierarchicalEquivalentToFlat(t *testing.T) {
+	grads := makeGrads(8, 30, 5, 50, 77)
+	hUpd, _, _ := runHierarchical(t, grads, 4)
+	fUpd, _ := runExchange(t, UniqueExchange{}, grads, nil, nil)
+	if len(hUpd[0].Indices) != len(fUpd[0].Indices) {
+		t.Fatalf("index counts differ: %d vs %d", len(hUpd[0].Indices), len(fUpd[0].Indices))
+	}
+	for i := range hUpd[0].Indices {
+		if hUpd[0].Indices[i] != fUpd[0].Indices[i] {
+			t.Fatal("index sets differ")
+		}
+		for c := 0; c < 5; c++ {
+			a, b := hUpd[0].Rows.At(i, c), fUpd[0].Rows.At(i, c)
+			if math.Abs(float64(a-b)) > 1e-3 {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, a, b)
+			}
+		}
+	}
+}
+
+// TestHierarchicalReducesInterNodeTraffic is the point of the extension:
+// only leaders appear on the inter-node fabric, and the volume they move is
+// far below what G flat-ring ranks would move across the boundary.
+func TestHierarchicalReducesInterNodeTraffic(t *testing.T) {
+	const g, groupSize, k, d, vocab = 8, 4, 200, 16, 60
+	grads := makeGrads(g, k, d, vocab, 5)
+	_, _, hier := runHierarchical(t, grads, groupSize)
+
+	inter := hier.InterNodeBytes()
+	if inter <= 0 {
+		t.Fatal("no inter-node traffic recorded")
+	}
+	// Flat unique exchange: every rank's full volume rides the ring across
+	// the node boundary.
+	_, fStats := runExchange(t, UniqueExchange{}, grads, nil, nil)
+	flatPerRank := fStats[0].WireBytes
+	// 2 nodes × 4 ranks: flat puts 8 ranks' ring traffic on the fabric;
+	// hierarchical puts 2 leaders' worth. Compare per-participant volume.
+	if inter >= flatPerRank {
+		t.Errorf("leader inter-node bytes %d not below flat per-rank %d", inter, flatPerRank)
+	}
+	if hier.IntraNodeBytes() == 0 {
+		t.Error("no intra-node traffic recorded")
+	}
+}
+
+func TestHierarchicalNeedsHierarchy(t *testing.T) {
+	ex := HierarchicalExchange{}
+	ctx := &Ctx{Rank: 0, Comm: collective.New(1)}
+	grads := makeGrads(1, 4, 2, 10, 1)
+	if _, _, err := ex.Exchange(ctx, grads[0]); err == nil {
+		t.Fatal("nil hierarchy must error")
+	}
+	if _, _, err := (HierarchicalExchange{Hier: collective.NewHierarchy(1, 1)}).Exchange(ctx, SparseGrad{}); err == nil {
+		t.Fatal("malformed gradient must error")
+	}
+}
+
+func TestHierarchyTopology(t *testing.T) {
+	h := collective.NewHierarchy(10, 4) // groups of 4,4,2
+	if h.NumGroups() != 3 {
+		t.Fatalf("groups = %d, want 3", h.NumGroups())
+	}
+	if g, r := h.GroupOf(5); g != 1 || r != 1 {
+		t.Errorf("GroupOf(5) = (%d,%d), want (1,1)", g, r)
+	}
+	if !h.IsLeader(8) || h.IsLeader(9) {
+		t.Error("leader detection wrong for last group")
+	}
+	if h.Group(9).Size() != 2 {
+		t.Errorf("last group size = %d, want 2", h.Group(9).Size())
+	}
+	if h.Leaders().Size() != 3 {
+		t.Errorf("leaders size = %d, want 3", h.Leaders().Size())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range rank must panic")
+			}
+		}()
+		h.GroupOf(10)
+	}()
+}
+
+func TestHierarchicalCostFormula(t *testing.T) {
+	member, leader := HierarchicalCost(64, 8, 640, 2000, 6300, 512, false)
+	if member <= 0 || leader <= 0 {
+		t.Fatal("costs must be positive")
+	}
+	// FP16 halves only the gradient part of the leader volume.
+	_, leader16 := HierarchicalCost(64, 8, 640, 2000, 6300, 512, true)
+	if leader16 >= leader {
+		t.Error("FP16 must shrink inter-node volume")
+	}
+	// Single node → no inter-node traffic.
+	if _, l := HierarchicalCost(8, 8, 640, 2000, 6300, 512, false); l != 0 {
+		t.Errorf("single-node leader volume = %d, want 0", l)
+	}
+}

@@ -1,0 +1,131 @@
+package corpus
+
+import "fmt"
+
+// DatasetKind distinguishes word-level from character-level corpora.
+type DatasetKind int
+
+const (
+	// WordLevel corpora tokenize into words (large vocabulary).
+	WordLevel DatasetKind = iota
+	// CharLevelEN corpora tokenize into English characters (vocab ~98).
+	CharLevelEN
+	// CharLevelZH corpora tokenize into Chinese characters (vocab ~15K).
+	CharLevelZH
+)
+
+// Dataset describes one corpus from the paper's Table I together with the
+// synthetic generator parameters that stand in for it. Paper-scale counts
+// are retained so Table I can be printed; generators are scaled down.
+type Dataset struct {
+	// Name is the short name used throughout the paper (1b, gb, cc, ar, tieba).
+	Name string
+	// FullName is the citation-style name.
+	FullName string
+	// Language of the corpus.
+	Language string
+	// Kind selects word vs char tokenization for the headline experiments.
+	Kind DatasetKind
+	// PaperChars, PaperWords, PaperBytes are Table I's paper-scale counts
+	// (0 where the paper lists NA).
+	PaperChars, PaperWords, PaperBytes int64
+	// WordVocab is the modeling vocabulary used in experiments (§IV-A:
+	// 100K most frequent words; char vocab 98 EN / 15437 ZH).
+	WordVocab int
+	// CharVocab is the character vocabulary size.
+	CharVocab int
+	// ZipfExponent parameterizes the synthetic generator for this corpus.
+	ZipfExponent float64
+	// SplitRatio is train:valid (99 means 99:1, 1000 means 1000:1).
+	SplitRatio int
+}
+
+// Catalog returns the datasets of Table I plus Common Crawl (which appears
+// in Figure 1 only), keyed in paper order.
+func Catalog() []Dataset {
+	return []Dataset{
+		{
+			Name: "1b", FullName: "1-Billion Word", Language: "English", Kind: WordLevel,
+			PaperChars: 4_190_000_000, PaperWords: 780_000_000, PaperBytes: 3_940_000_000,
+			WordVocab: 100_000, CharVocab: 98, ZipfExponent: DefaultWordExponent, SplitRatio: 99,
+		},
+		{
+			Name: "gb", FullName: "Gutenberg", Language: "English", Kind: WordLevel,
+			PaperChars: 8_900_000_000, PaperWords: 1_810_000_000, PaperBytes: 8_290_000_000,
+			WordVocab: 100_000, CharVocab: 98, ZipfExponent: 1.52, SplitRatio: 99,
+		},
+		{
+			Name: "cc", FullName: "Common Crawl", Language: "English", Kind: WordLevel,
+			// Figure 1 only; Table I does not list it.
+			PaperChars: 0, PaperWords: 0, PaperBytes: 0,
+			WordVocab: 100_000, CharVocab: 98, ZipfExponent: 1.60, SplitRatio: 99,
+		},
+		{
+			Name: "ar", FullName: "Amazon Review", Language: "English", Kind: CharLevelEN,
+			PaperChars: 38_760_000_000, PaperWords: 7_010_000_000, PaperBytes: 37_040_000_000,
+			WordVocab: 100_000, CharVocab: 98, ZipfExponent: 1.58, SplitRatio: 1000,
+		},
+		{
+			Name: "tieba", FullName: "Baidu Tieba", Language: "Chinese", Kind: CharLevelZH,
+			PaperChars: 34_360_000_000, PaperWords: 0, PaperBytes: 93_120_000_000,
+			WordVocab: 0, CharVocab: 15_437, ZipfExponent: 1.10, SplitRatio: 1000,
+		},
+	}
+}
+
+// DatasetByName looks a dataset up by its short name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("corpus: unknown dataset %q", name)
+}
+
+// WordGenerator returns the synthetic word-id generator standing in for this
+// dataset's word-level stream.
+func (d Dataset) WordGenerator(seed uint64) *Generator {
+	vocab := d.WordVocab
+	if vocab == 0 {
+		vocab = d.CharVocab
+	}
+	return NewGenerator(GeneratorConfig{
+		VocabSize:    vocab,
+		ZipfExponent: d.ZipfExponent,
+		Seed:         seed,
+	})
+}
+
+// CharGenerator returns the synthetic character-id generator. Character
+// unigram distributions are much flatter than word distributions, so the
+// exponent is fixed near 1 regardless of the word exponent; the vocabulary
+// is tiny (98 EN) or mid-sized (15437 ZH).
+func (d Dataset) CharGenerator(seed uint64) *Generator {
+	vocab := d.CharVocab
+	if vocab <= 0 {
+		vocab = 98
+	}
+	return NewGenerator(GeneratorConfig{
+		VocabSize:    vocab,
+		ZipfExponent: 1.0,
+		Seed:         seed,
+	})
+}
+
+// BytesPerToken estimates storage bytes per token for Table I style
+// accounting: English words average ~5 bytes + separator, English chars 1
+// byte, Chinese chars ~2.7 bytes in UTF-8 (Table I: 93.12 GB / 34.36 B chars).
+func (d Dataset) BytesPerToken() float64 {
+	switch d.Kind {
+	case CharLevelZH:
+		return 2.71
+	case CharLevelEN:
+		return 1.0
+	default:
+		if d.PaperWords > 0 && d.PaperBytes > 0 {
+			return float64(d.PaperBytes) / float64(d.PaperWords)
+		}
+		return 5.1
+	}
+}

@@ -1,0 +1,134 @@
+package corpus
+
+import (
+	"zipflm/internal/rng"
+)
+
+// GeneratorConfig describes a synthetic Zipfian corpus.
+type GeneratorConfig struct {
+	// VocabSize is the number of distinct types the generator can emit.
+	VocabSize int
+	// ZipfExponent is the rank-frequency exponent s (freq ∝ rank^-s).
+	// For s > 1 the expected type-token curve follows Heaps' law
+	// U ∝ N^(1/s) until it saturates at VocabSize; the paper measures
+	// U ∝ N^0.64, i.e. an effective s of about 1/0.64 ≈ 1.56.
+	ZipfExponent float64
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+// TypeTokenExponentTarget is the exponent the paper fits across its four
+// datasets (Figure 1: U ∝ N^0.64).
+const TypeTokenExponentTarget = 0.64
+
+// DefaultWordExponent is the Zipf exponent whose Heaps'-law image matches
+// the paper's measured 0.64 type-token exponent.
+const DefaultWordExponent = 1.0 / TypeTokenExponentTarget
+
+// Generator produces an endless reproducible stream of token ids in
+// [1, VocabSize] (id 0 is reserved for <unk> and never generated).
+type Generator struct {
+	cfg  GeneratorConfig
+	zipf *rng.Zipf
+}
+
+// NewGenerator returns a generator for the given configuration.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.VocabSize <= 0 {
+		panic("corpus: generator needs positive VocabSize")
+	}
+	if cfg.ZipfExponent <= 0 {
+		panic("corpus: generator needs positive ZipfExponent")
+	}
+	r := rng.New(cfg.Seed)
+	return &Generator{cfg: cfg, zipf: rng.NewZipf(r, cfg.VocabSize, cfg.ZipfExponent)}
+}
+
+// Next returns the next token id in [1, VocabSize].
+func (g *Generator) Next() int { return g.zipf.Next() + 1 }
+
+// Stream generates n token ids.
+func (g *Generator) Stream(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// TypeTokenPoint is one measurement of the Figure 1 curve: after reading N
+// tokens, U distinct types had appeared.
+type TypeTokenPoint struct {
+	Tokens int
+	Types  int
+}
+
+// TypeTokenCurve streams tokens from the generator and records the number of
+// distinct types at each checkpoint (checkpoints must be ascending). It is
+// the measurement behind Figure 1.
+func (g *Generator) TypeTokenCurve(checkpoints []int) []TypeTokenPoint {
+	seen := make([]bool, g.cfg.VocabSize+1)
+	points := make([]TypeTokenPoint, 0, len(checkpoints))
+	types := 0
+	n := 0
+	for _, cp := range checkpoints {
+		for n < cp {
+			id := g.Next()
+			if !seen[id] {
+				seen[id] = true
+				types++
+			}
+			n++
+		}
+		points = append(points, TypeTokenPoint{Tokens: n, Types: types})
+	}
+	return points
+}
+
+// CountTypes returns the number of distinct values in ids — the U of a
+// single training step's global batch, the quantity §III-A's uniqueness
+// optimization lives off.
+func CountTypes(ids []int) int {
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		seen[id] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Split partitions a token stream into train and validation sets by blocks,
+// keeping 1 block in valid for every (ratio-1) blocks in train — the paper
+// splits 99:1 (1b, gb) and 1000:1 (ar, tieba) "by sampling without
+// replacement and a fixed random seed" (§IV-A). Blocks preserve local token
+// order so sequences remain trainable.
+func Split(ids []int, ratio int, blockLen int, seed uint64) (train, valid []int) {
+	if ratio < 2 {
+		panic("corpus: split ratio must be >= 2")
+	}
+	if blockLen <= 0 {
+		panic("corpus: split blockLen must be positive")
+	}
+	nBlocks := (len(ids) + blockLen - 1) / blockLen
+	r := rng.New(seed)
+	validBlocks := make(map[int]struct{})
+	// Choose floor(nBlocks/ratio) distinct blocks for validation.
+	want := nBlocks / ratio
+	for len(validBlocks) < want {
+		validBlocks[r.Intn(nBlocks)] = struct{}{}
+	}
+	train = make([]int, 0, len(ids))
+	valid = make([]int, 0, len(ids)/ratio+blockLen)
+	for b := 0; b < nBlocks; b++ {
+		lo := b * blockLen
+		hi := lo + blockLen
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if _, ok := validBlocks[b]; ok {
+			valid = append(valid, ids[lo:hi]...)
+		} else {
+			train = append(train, ids[lo:hi]...)
+		}
+	}
+	return train, valid
+}

@@ -1,0 +1,45 @@
+package corpus
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases text and splits it into word tokens, treating any
+// run of letters-or-digits as a token and every other rune as a separator
+// (punctuation becomes its own token, as NLTK-style tokenizers do; the paper
+// cites Bird et al. for "lower-casing and tokenization").
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			tokens = append(tokens, string(r))
+		}
+	}
+	flush()
+	return tokens
+}
+
+// CharTokens splits text into character tokens (runes as strings), the
+// tokenization the character language model uses; the vocabulary is then
+// "all alphanumeric characters and common symbols" (§IV-A).
+func CharTokens(text string) []string {
+	out := make([]string, 0, len(text))
+	for _, r := range text {
+		out = append(out, string(r))
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zipflm/internal/corpus"
+	"zipflm/internal/metrics"
+	"zipflm/internal/powerlaw"
+)
+
+func init() {
+	register("fig1", "Figure 1: types (unique words) vs tokens, power law U ∝ N^0.64", runFig1)
+}
+
+// runFig1 regenerates the type-token curves of Figure 1 on the synthetic
+// stand-ins for the four datasets and fits the power law the paper
+// annotates (y = 7.02·x^0.64, R² = 1.00, fitted on Amazon Review).
+func runFig1(opts Options) (*Report, error) {
+	checkpoints := []int{500, 5_000, 50_000, 500_000, 5_000_000}
+	if opts.Quick {
+		checkpoints = checkpoints[:4]
+	}
+
+	datasets := []string{"1b", "gb", "cc", "ar"}
+	tab := metrics.NewTable("Types U at token-count checkpoints (batch line = x):",
+		append([]string{"tokens (N)", "batch"}, datasets...)...)
+
+	curves := make(map[string][]corpus.TypeTokenPoint)
+	for _, name := range datasets {
+		d, err := corpus.DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gen := corpus.NewGenerator(corpus.GeneratorConfig{
+			VocabSize:    2_000_000, // §IV-A: 2M–24M unique words in the corpora
+			ZipfExponent: d.ZipfExponent,
+			Seed:         opts.Seed,
+		})
+		curves[name] = gen.TypeTokenCurve(checkpoints)
+	}
+
+	for i, n := range checkpoints {
+		row := []string{fmt.Sprintf("%.1e", float64(n)), fmt.Sprintf("%.1e", float64(n))}
+		for _, name := range datasets {
+			row = append(row, fmt.Sprintf("%d", curves[name][i].Types))
+		}
+		tab.AddRow(row...)
+	}
+
+	// Fit the power law on the Amazon Review curve, as the paper does.
+	ar := curves["ar"]
+	xs := make([]float64, len(ar))
+	ys := make([]float64, len(ar))
+	for i, p := range ar {
+		xs[i] = float64(p.Tokens)
+		ys[i] = float64(p.Types)
+	}
+	fit, err := powerlaw.FitXY(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+
+	last := ar[len(ar)-1]
+	rep := &Report{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			fmt.Sprintf("fit on ar: %s (paper: y = 7.02x^0.64, R² = 1.00)", fit),
+			fmt.Sprintf("gap at N=%d: N/U = %.0f× (paper: ~100× at N = 40M)",
+				last.Tokens, float64(last.Tokens)/float64(last.Types)),
+		},
+	}
+	if fit.Alpha < 0.5 || fit.Alpha > 0.8 {
+		rep.Notes = append(rep.Notes, "WARNING: fitted exponent outside the paper's band")
+	}
+	return rep, nil
+}

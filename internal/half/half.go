@@ -1,0 +1,208 @@
+// Package half implements IEEE-754 binary16 ("FP16") conversion in software,
+// plus the compression-scaling scheme of §III-C of the paper: before
+// down-casting a gradient tensor for the wire, multiply by a scale factor F
+// so small magnitudes do not flush to zero in the narrower exponent range;
+// divide by F after up-casting on the receiving end.
+//
+// The bit-exact rounding here (round-to-nearest-even, gradual underflow to
+// subnormals, saturation handling for overflow) means accuracy-loss
+// experiments behave like real FP16 hardware.
+package half
+
+import "math"
+
+// Float16 is an IEEE-754 binary16 value stored in its 16-bit wire format:
+// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+type Float16 uint16
+
+// Bit-layout constants for binary16 and binary32.
+const (
+	f16SignMask  = 0x8000
+	f16ExpMask   = 0x7c00
+	f16FracMask  = 0x03ff
+	f16ExpBias   = 15
+	f16Infinity  = Float16(0x7c00)
+	f16NaN       = Float16(0x7e00)
+	f16MaxFinite = 65504.0
+)
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even.
+// Values above the FP16 finite range become ±Inf (matching IEEE and GPU
+// behaviour); NaN maps to a quiet NaN.
+func FromFloat32(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & f16SignMask
+	exp := int32(bits>>23) & 0xff
+	frac := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if frac != 0 {
+			return Float16(sign) | f16NaN
+		}
+		return Float16(sign) | f16Infinity
+	case exp == 0 && frac == 0: // signed zero
+		return Float16(sign)
+	}
+
+	// Unbiased exponent.
+	e := exp - 127
+	switch {
+	case e > 15:
+		// Overflow: round to infinity.
+		return Float16(sign) | f16Infinity
+	case e >= -14:
+		// Normal range. 23-bit fraction -> 10-bit with RNE.
+		out := uint32(e+f16ExpBias)<<10 | frac>>13
+		// Round: inspect the 13 discarded bits.
+		rem := frac & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && out&1 == 1) {
+			out++ // may carry into exponent; that is correct RNE behaviour
+		}
+		return Float16(sign | uint16(out))
+	case e >= -25:
+		// Subnormal range: shift in the implicit leading 1, then round.
+		frac |= 0x800000
+		shift := uint32(-e - 14 + 13) // total right shift to 10-bit subnormal
+		out := frac >> shift
+		rem := frac & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && out&1 == 1) {
+			out++
+		}
+		return Float16(sign | uint16(out))
+	default:
+		// Underflow to signed zero.
+		return Float16(sign)
+	}
+}
+
+// ToFloat32 converts a binary16 back to float32 exactly (every FP16 value is
+// representable in FP32).
+func (h Float16) ToFloat32() float32 {
+	sign := uint32(h&f16SignMask) << 16
+	exp := uint32(h&f16ExpMask) >> 10
+	frac := uint32(h & f16FracMask)
+
+	switch {
+	case exp == 0x1f: // Inf / NaN
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7f800000 | frac<<13 | 1<<22)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := int32(-14)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= f16FracMask
+		return math.Float32frombits(sign | uint32(e+127)<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp-f16ExpBias+127)<<23 | frac<<13)
+	}
+}
+
+// IsNaN reports whether h is a NaN.
+func (h Float16) IsNaN() bool {
+	return h&f16ExpMask == f16ExpMask && h&f16FracMask != 0
+}
+
+// IsInf reports whether h is ±Inf.
+func (h Float16) IsInf() bool {
+	return h&f16ExpMask == f16ExpMask && h&f16FracMask == 0
+}
+
+// Compress converts src to FP16, writing into dst (which must be the same
+// length). It returns dst for chaining. This is the down-cast half of the
+// paper's compression step; communication then moves 2 bytes per element
+// instead of 4.
+func Compress(dst []Float16, src []float32) []Float16 {
+	if len(dst) != len(src) {
+		panic("half: Compress length mismatch")
+	}
+	for i, f := range src {
+		dst[i] = FromFloat32(f)
+	}
+	return dst
+}
+
+// Decompress converts FP16 values back to float32 into dst (same length).
+func Decompress(dst []float32, src []Float16) []float32 {
+	if len(dst) != len(src) {
+		panic("half: Decompress length mismatch")
+	}
+	for i, h := range src {
+		dst[i] = h.ToFloat32()
+	}
+	return dst
+}
+
+// Scaler implements compression-scaling (§III-C): multiply by F before the
+// down-cast, divide by F after the up-cast. F is typically a power of two
+// (256, 512, 1024) so scaling is exact in binary floating point.
+type Scaler struct {
+	// Factor is the compression-scaling factor F.
+	Factor float32
+}
+
+// NewScaler returns a Scaler with the given factor. Factor 1 disables
+// scaling. Panics on non-positive factors.
+func NewScaler(factor float32) *Scaler {
+	if factor <= 0 {
+		panic("half: non-positive scale factor")
+	}
+	return &Scaler{Factor: factor}
+}
+
+// CompressScaled writes FromFloat32(src[i]*Factor) into dst.
+func (s *Scaler) CompressScaled(dst []Float16, src []float32) []Float16 {
+	if len(dst) != len(src) {
+		panic("half: CompressScaled length mismatch")
+	}
+	for i, f := range src {
+		dst[i] = FromFloat32(f * s.Factor)
+	}
+	return dst
+}
+
+// DecompressScaled writes src[i].ToFloat32()/Factor into dst.
+func (s *Scaler) DecompressScaled(dst []float32, src []Float16) []float32 {
+	if len(dst) != len(src) {
+		panic("half: DecompressScaled length mismatch")
+	}
+	inv := 1 / s.Factor
+	for i, h := range src {
+		dst[i] = h.ToFloat32() * inv
+	}
+	return dst
+}
+
+// RoundTrip applies compress-then-decompress in place, simulating what a
+// tensor looks like after one trip over an FP16 wire. Overflow saturates to
+// the FP16 finite max rather than propagating Inf, mirroring the clipping
+// production loss-scaling stacks apply.
+func (s *Scaler) RoundTrip(x []float32) {
+	inv := 1 / s.Factor
+	for i, f := range x {
+		h := FromFloat32(f * s.Factor)
+		if h.IsInf() {
+			if h&f16SignMask != 0 {
+				h = Float16(f16SignMask | 0x7bff) // -max finite
+			} else {
+				h = Float16(0x7bff) // +max finite
+			}
+		}
+		x[i] = h.ToFloat32() * inv
+	}
+}
+
+// MaxFinite is the largest finite FP16 magnitude.
+const MaxFinite = f16MaxFinite
+
+// Bytes reports the wire size of n FP16 elements.
+func Bytes(n int) int { return 2 * n }

@@ -1,0 +1,121 @@
+// Package metrics provides the accuracy and scaling metrics the paper
+// reports, plus fixed-width table formatting for the experiment harnesses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Perplexity converts mean cross-entropy (nats/token) to perplexity.
+func Perplexity(meanNats float64) float64 { return math.Exp(meanNats) }
+
+// BPC converts mean cross-entropy (nats/char) to bits per character.
+func BPC(meanNats float64) float64 { return meanNats / math.Ln2 }
+
+// AccuracyImprovement is the Table V metric: relative perplexity reduction
+// from a baseline ("a 93 GB corpus on 192 GPUs delivers 35% accuracy
+// improvement" = (17.06−11.1)/17.06).
+func AccuracyImprovement(baselinePPL, ppl float64) float64 {
+	if baselinePPL <= 0 {
+		return 0
+	}
+	return (baselinePPL - ppl) / baselinePPL
+}
+
+// HumanBytes renders a byte count the way the paper's text does (GB with
+// decimal prefixes).
+func HumanBytes(b int64) string {
+	switch {
+	case b >= 1e12:
+		return fmt.Sprintf("%.2f TB", float64(b)/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f MB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2f KB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// Table accumulates rows and renders a fixed-width text table, the output
+// format of every experiment harness.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf formats each cell with fmt.Sprint.
+func (t *Table) AddRowf(cells ...interface{}) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = fmt.Sprintf("%.2f", v)
+		default:
+			s[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPerplexityAndBPC(t *testing.T) {
+	if math.Abs(Perplexity(0)-1) > 1e-12 {
+		t.Error("Perplexity(0) != 1")
+	}
+	if math.Abs(BPC(math.Ln2)-1) > 1e-12 {
+		t.Error("BPC(ln 2) != 1")
+	}
+}
+
+func TestAccuracyImprovementMatchesTableV(t *testing.T) {
+	// Table V + §V-C: 17.06 → 11.1 is the "35% accuracy improvement".
+	got := AccuracyImprovement(17.06, 11.1)
+	if math.Abs(got-0.35) > 0.01 {
+		t.Errorf("improvement = %v, paper says 35%%", got)
+	}
+	// 17.06 → 13.6 is the 20% improvement at 24 GPUs.
+	got24 := AccuracyImprovement(17.06, 13.6)
+	if math.Abs(got24-0.20) > 0.01 {
+		t.Errorf("improvement = %v, paper says 20%%", got24)
+	}
+	if AccuracyImprovement(0, 5) != 0 {
+		t.Error("zero baseline must yield 0")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		500:              "500 B",
+		2_000:            "2.00 KB",
+		3_940_000_000:    "3.94 GB",
+		93_120_000_000:   "93.12 GB",
+		1_500_000_000_00: "150.00 GB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if got := HumanBytes(2e12); got != "2.00 TB" {
+		t.Errorf("TB formatting: %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table III", "GPUs", "Time", "Eff")
+	tab.AddRowf(8, 14.6, "100%")
+	tab.AddRowf(16, 8.1, "90%")
+	tab.AddRow("64", "4.5") // missing cell renders empty
+	out := tab.String()
+	if !strings.Contains(out, "Table III") || !strings.Contains(out, "14.60") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and first row start identically.
+	if !strings.HasPrefix(lines[1], "GPUs") {
+		t.Errorf("header line %q", lines[1])
+	}
+}

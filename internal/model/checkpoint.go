@@ -1,0 +1,75 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpointing. A checkpoint captures a model's configuration and every
+// parameter tensor, so long training runs (the paper's epochs are tens of
+// hours) can stop and resume, and trained models can ship to inference
+// users. The format is encoding/gob with a version header; the carried RNN
+// state is deliberately excluded (a resumed run starts its lanes fresh,
+// like an epoch boundary).
+
+// checkpointVersion guards the wire format.
+const checkpointVersion = 1
+
+// checkpointFile is the serialized form.
+type checkpointFile struct {
+	Version int
+	Cfg     Config
+	InEmb   []float32
+	OutEmb  []float32
+	// Dense holds DenseParams values keyed by parameter name.
+	Dense map[string][]float32
+}
+
+// Save writes the model's configuration and parameters to w.
+func (m *LM) Save(w io.Writer) error {
+	ck := checkpointFile{
+		Version: checkpointVersion,
+		Cfg:     m.Cfg,
+		InEmb:   m.InEmb.Data,
+		OutEmb:  m.OutEmb.Data,
+		Dense:   make(map[string][]float32),
+	}
+	for _, p := range m.DenseParams() {
+		ck.Dense[p.Name] = p.Value
+	}
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("model: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save and returns a fresh model with
+// those weights. The embedded Config fully determines the architecture.
+func Load(r io.Reader) (*LM, error) {
+	var ck checkpointFile
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("model: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	m := NewLM(ck.Cfg)
+	if len(ck.InEmb) != len(m.InEmb.Data) || len(ck.OutEmb) != len(m.OutEmb.Data) {
+		return nil, fmt.Errorf("model: checkpoint embedding size mismatch")
+	}
+	copy(m.InEmb.Data, ck.InEmb)
+	copy(m.OutEmb.Data, ck.OutEmb)
+	for _, p := range m.DenseParams() {
+		v, ok := ck.Dense[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("model: checkpoint missing parameter %q", p.Name)
+		}
+		if len(v) != len(p.Value) {
+			return nil, fmt.Errorf("model: checkpoint parameter %q has %d values, want %d",
+				p.Name, len(v), len(p.Value))
+		}
+		copy(p.Value, v)
+	}
+	return m, nil
+}

@@ -1,0 +1,191 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"zipflm/internal/rng"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := Config{Vocab: 30, Dim: 6, Hidden: 8, RNN: KindLSTM, Sampled: 8, Seed: 5}
+	m := NewLM(cfg)
+	// Perturb weights away from the seed-determined init.
+	m.InEmb.Data[3] = 42
+	m.DenseParams()[0].Value[0] = -7
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.Cfg, cfg)
+	}
+	if loaded.InEmb.Data[3] != 42 {
+		t.Error("input embedding not restored")
+	}
+	if loaded.DenseParams()[0].Value[0] != -7 {
+		t.Error("dense parameter not restored")
+	}
+
+	// The restored model must behave identically.
+	stream := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	la, ca := m.EvalLoss(stream, 4)
+	lb, cb := loaded.EvalLoss(stream, 4)
+	if la != lb || ca != cb {
+		t.Fatalf("loaded model behaves differently: %v/%d vs %v/%d", la, ca, lb, cb)
+	}
+}
+
+func TestCheckpointRHN(t *testing.T) {
+	cfg := Config{Vocab: 20, Dim: 4, Hidden: 6, RNN: KindRHN, RHNDepth: 3, Stateful: true, Seed: 2}
+	m := NewLM(cfg)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Cfg.Stateful || loaded.Cfg.RHNDepth != 3 {
+		t.Error("config fields lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a checkpoint")); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Vocab: 25, Dim: 6, Hidden: 8, RNN: KindLSTM, Seed: 7}
+	m := NewLM(cfg)
+	a := m.Generate([]int{1, 2, 3}, 20, 1.0, rng.New(9))
+	b := m.Generate([]int{1, 2, 3}, 20, 1.0, rng.New(9))
+	if len(a) != 20 {
+		t.Fatalf("generated %d tokens", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic for equal RNG seeds")
+		}
+		if a[i] < 0 || a[i] >= cfg.Vocab {
+			t.Fatalf("token %d outside vocabulary", a[i])
+		}
+	}
+}
+
+func TestGenerateGreedyIsArgmax(t *testing.T) {
+	cfg := Config{Vocab: 15, Dim: 5, Hidden: 6, RNN: KindRHN, RHNDepth: 2, Seed: 3}
+	m := NewLM(cfg)
+	a := m.Generate([]int{4}, 10, 0, rng.New(1))
+	b := m.Generate([]int{4}, 10, 0, rng.New(99)) // RNG must not matter
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy generation depends on RNG")
+		}
+	}
+}
+
+// TestGenerateLearnsPattern: after training on a deterministic cycle the
+// greedy continuation must follow the cycle.
+func TestGenerateLearnsPattern(t *testing.T) {
+	cfg := Config{Vocab: 10, Dim: 8, Hidden: 12, RNN: KindLSTM, Seed: 1}
+	m := NewLM(cfg)
+	const T, B = 8, 4
+	inputs := make([][]int, T)
+	targets := make([][]int, T)
+	for step := 0; step < T; step++ {
+		inputs[step] = make([]int, B)
+		targets[step] = make([]int, B)
+		for b := 0; b < B; b++ {
+			inputs[step][b] = (step + b) % 10
+			targets[step][b] = (step + b + 1) % 10
+		}
+	}
+	for iter := 0; iter < 400; iter++ {
+		m.ZeroGrads()
+		res := m.ForwardBackward(inputs, targets, nil)
+		for _, p := range m.DenseParams() {
+			for i := range p.Value {
+				p.Value[i] -= 0.5 * p.Grad[i]
+			}
+		}
+		for i, w := range res.InputGrad.Indices {
+			for c, v := range res.InputGrad.Rows.Row(i) {
+				m.InEmb.Row(w)[c] -= 0.5 * v
+			}
+		}
+		for i, w := range res.OutputGrad.Indices {
+			for c, v := range res.OutputGrad.Rows.Row(i) {
+				m.OutEmb.Row(w)[c] -= 0.5 * v
+			}
+		}
+	}
+	out := m.Generate([]int{0, 1, 2}, 5, 0, rng.New(1))
+	want := []int{3, 4, 5, 6, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("greedy continuation %v, want %v", out, want)
+		}
+	}
+}
+
+func TestGenerateDoesNotDisturbState(t *testing.T) {
+	cfg := Config{Vocab: 20, Dim: 5, Hidden: 6, RNN: KindLSTM, Stateful: true, Seed: 4}
+	m := NewLM(cfg)
+	inputs := [][]int{{1, 2}, {3, 4}}
+	targets := [][]int{{2, 3}, {4, 5}}
+	m.ZeroGrads()
+	m.ForwardBackward(inputs, targets, nil)
+
+	ref := NewLM(cfg)
+	ref.CopyWeightsFrom(m)
+	ref.ZeroGrads()
+	ref.ForwardBackward(inputs, targets, nil)
+	want := ref.ForwardBackward(inputs, targets, nil).LossSum
+
+	m.Generate([]int{1, 2, 3}, 10, 1.0, rng.New(5))
+	m.ZeroGrads()
+	got := m.ForwardBackward(inputs, targets, nil).LossSum
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("generation disturbed training state: %v vs %v", got, want)
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	m := NewLM(Config{Vocab: 10, Dim: 4, Hidden: 4, RNN: KindLSTM, Seed: 1})
+	for _, f := range []func(){
+		func() { m.Generate(nil, 5, 1, rng.New(1)) },
+		func() { m.Generate([]int{99}, 5, 1, rng.New(1)) },
+		func() { m.Generate([]int{1}, 5, -1, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScore(t *testing.T) {
+	m := NewLM(Config{Vocab: 12, Dim: 4, Hidden: 5, RNN: KindLSTM, Seed: 6})
+	s := m.Score([]int{1, 2, 3, 4, 5}, 2)
+	if math.IsNaN(s) || s <= 0 {
+		t.Fatalf("Score = %v", s)
+	}
+	if got := m.Score([]int{1}, 2); !math.IsNaN(got) {
+		t.Fatalf("Score on too-short stream = %v, want NaN", got)
+	}
+}

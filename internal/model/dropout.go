@@ -1,0 +1,59 @@
+package model
+
+import (
+	"zipflm/internal/rng"
+	"zipflm/internal/tensor"
+)
+
+// dropout implements inverted dropout: during training each activation is
+// zeroed with probability p and survivors are scaled by 1/(1−p), so
+// evaluation needs no rescaling (and EvalLoss/Generate simply skip the
+// mask). The paper's character model trains with dropout (§IV-B).
+type dropout struct {
+	p    float64
+	r    *rng.RNG
+	mask []float32 // cached mask of the last Apply, for Backward
+}
+
+func newDropout(p float64, seed uint64) *dropout {
+	if p < 0 || p >= 1 {
+		panic("model: dropout probability must be in [0, 1)")
+	}
+	return &dropout{p: p, r: rng.New(seed)}
+}
+
+// Apply masks x in place and caches the mask. A zero probability is a
+// no-op.
+func (d *dropout) Apply(x *tensor.Matrix) {
+	if d.p == 0 {
+		d.mask = nil
+		return
+	}
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float32, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	keep := float32(1 / (1 - d.p))
+	for i := range x.Data {
+		if d.r.Float64() < d.p {
+			d.mask[i] = 0
+			x.Data[i] = 0
+		} else {
+			d.mask[i] = keep
+			x.Data[i] *= keep
+		}
+	}
+}
+
+// Backward scales the incoming gradient by the cached mask in place.
+func (d *dropout) Backward(dx *tensor.Matrix) {
+	if d.p == 0 || d.mask == nil {
+		return
+	}
+	if len(d.mask) != len(dx.Data) {
+		panic("model: dropout Backward shape mismatch with Apply")
+	}
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+}

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"zipflm/internal/rng"
+	"zipflm/internal/tensor"
+)
+
+// Generate samples a continuation of the prompt from the model: the prompt
+// is consumed to warm the recurrent state, then n tokens are drawn one at a
+// time from the full softmax at the given temperature (1 = the model's
+// distribution, <1 sharper, >1 flatter; 0 = greedy argmax). Generation is
+// deterministic given r.
+//
+// The model's training state is untouched — generation snapshots and
+// restores the carried RNN state around itself.
+func (m *LM) Generate(prompt []int, n int, temperature float64, r *rng.RNG) []int {
+	if len(prompt) == 0 {
+		panic("model: Generate needs a non-empty prompt")
+	}
+	if temperature < 0 {
+		panic("model: negative temperature")
+	}
+	for _, id := range prompt {
+		if id < 0 || id >= m.Cfg.Vocab {
+			panic(fmt.Sprintf("model: prompt token %d outside vocabulary", id))
+		}
+	}
+
+	saved := m.rnn.SnapshotState()
+	m.rnn.SetCarry(true)
+	m.rnn.ResetState()
+	defer func() {
+		m.rnn.SetCarry(m.Cfg.Stateful)
+		m.rnn.RestoreState(saved)
+	}()
+
+	// step feeds one token and returns the next-token logits.
+	logits := make([]float32, m.Cfg.Vocab)
+	step := func(id int) []float32 {
+		x := tensor.NewMatrix(1, m.Cfg.Dim)
+		tensor.GatherRows(x, m.InEmb, []int{id})
+		h := m.rnn.Forward([]*tensor.Matrix{x})
+		p := m.proj.Forward(h[0])
+		m.proj.x = nil
+		out := tensor.NewMatrixFrom(1, m.Cfg.Vocab, logits)
+		tensor.MatMulABT(out, p, m.OutEmb)
+		return logits
+	}
+
+	// Warm up on the prompt (the last call's logits feed the first draw).
+	var lg []float32
+	for _, id := range prompt {
+		lg = step(id)
+	}
+
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		next := sampleLogits(lg, temperature, r)
+		out = append(out, next)
+		if i < n-1 {
+			lg = step(next)
+		}
+	}
+	return out
+}
+
+// sampleLogits draws one index from softmax(logits/temperature); zero
+// temperature is argmax.
+func sampleLogits(logits []float32, temperature float64, r *rng.RNG) int {
+	if temperature == 0 {
+		bi, bv := 0, logits[0]
+		for i, v := range logits {
+			if v > bv {
+				bi, bv = i, v
+			}
+		}
+		return bi
+	}
+	scaled := make([]float32, len(logits))
+	inv := float32(1 / temperature)
+	for i, v := range logits {
+		scaled[i] = v * inv
+	}
+	tensor.SoftmaxRow(scaled)
+	u := r.Float64()
+	var cum float64
+	for i, p := range scaled {
+		cum += float64(p)
+		if u < cum {
+			return i
+		}
+	}
+	return len(scaled) - 1 // numerical tail
+}
+
+// Score returns the model's mean cross-entropy (nats/token) on a stream —
+// a convenience wrapper over EvalLoss for inference users.
+func (m *LM) Score(stream []int, seqLen int) float64 {
+	lossSum, count := m.EvalLoss(stream, seqLen)
+	if count == 0 {
+		return math.NaN()
+	}
+	return lossSum / float64(count)
+}

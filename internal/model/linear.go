@@ -1,0 +1,79 @@
+package model
+
+import (
+	"math"
+
+	"zipflm/internal/rng"
+	"zipflm/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x Wᵀ + b. The paper's word model
+// uses one as the 2048→512 projection between the LSTM and the output
+// embedding (§IV-B: "the projection dimension we used is 512").
+type Linear struct {
+	In, Out int
+	// W is Out×In (one row per output unit); B is the bias.
+	W *tensor.Matrix
+	B []float32
+
+	gw *tensor.Matrix
+	gb []float32
+
+	// forward cache
+	x *tensor.Matrix
+	// scratch for gradient accumulation
+	scratch *tensor.Matrix
+}
+
+// NewLinear returns a Linear layer with Xavier-uniform weights.
+func NewLinear(in, out int, r *rng.RNG) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:       tensor.NewMatrix(out, in),
+		B:       make([]float32, out),
+		gw:      tensor.NewMatrix(out, in),
+		gb:      make([]float32, out),
+		scratch: tensor.NewMatrix(out, in),
+	}
+	l.W.RandomizeUniform(r, math.Sqrt(6/float64(in+out)))
+	return l
+}
+
+// Forward computes y = x Wᵀ + b for a B×In input, caching x for Backward.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.NewMatrix(x.Rows, l.Out)
+	tensor.MatMulABT(y, x, l.W)
+	for r := 0; r < y.Rows; r++ {
+		tensor.AddInPlace(y.Row(r), l.B)
+	}
+	l.x = x
+	return y
+}
+
+// Backward consumes dLoss/dy, accumulates parameter gradients, and returns
+// dLoss/dx.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if l.x == nil {
+		panic("model: Linear.Backward before Forward")
+	}
+	// gW += dyᵀ @ x ; gb += column sums of dy ; dx = dy @ W.
+	addOuter(l.gw, dy, l.x, l.scratch)
+	for r := 0; r < dy.Rows; r++ {
+		tensor.AddInPlace(l.gb, dy.Row(r))
+	}
+	dx := tensor.NewMatrix(dy.Rows, l.In)
+	tensor.MatMul(dx, dy, l.W)
+	l.x = nil
+	return dx
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: "linear.W", Value: l.W.Data, Grad: l.gw.Data},
+		{Name: "linear.b", Value: l.B, Grad: l.gb},
+	}
+}
+
+// ZeroGrads implements Layer.
+func (l *Linear) ZeroGrads() { zeroAll(l.Params()) }

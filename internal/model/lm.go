@@ -1,0 +1,291 @@
+package model
+
+import (
+	"fmt"
+
+	"zipflm/internal/core"
+	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
+)
+
+// RNNKind selects the recurrent architecture.
+type RNNKind int
+
+const (
+	// KindLSTM is the word-LM architecture (§IV-B).
+	KindLSTM RNNKind = iota
+	// KindRHN is the char-LM architecture (§IV-B).
+	KindRHN
+)
+
+// Config describes a language model. Dimensions are free so the
+// reproduction can train paper-shaped models at laptop scale.
+type Config struct {
+	// Vocab is |V| including <unk>.
+	Vocab int
+	// Dim is the embedding dimension D (input and output embeddings
+	// share it, as §II-B notes is standard).
+	Dim int
+	// Hidden is the RNN cell count.
+	Hidden int
+	// RNN selects LSTM (word LM) or RHN (char LM).
+	RNN RNNKind
+	// RHNDepth is the micro-layer count for KindRHN (paper: 10).
+	RHNDepth int
+	// Sampled is the number of softmax samples per step; 0 selects the
+	// full softmax (char LM).
+	Sampled int
+	// Stateful carries the RNN state across batches (truncated BPTT), the
+	// way production LM training feeds contiguous corpus lanes.
+	Stateful bool
+	// Dropout is the training-time dropout probability on the RNN outputs
+	// (§IV-B: the char model uses "Adam with weight decay and dropout");
+	// 0 disables it. Evaluation and generation are never masked.
+	Dropout float64
+	// Seed initializes parameters deterministically.
+	Seed uint64
+}
+
+// recurrent is the common interface of LSTM and RHN.
+type recurrent interface {
+	Layer
+	Forward(xs []*tensor.Matrix) []*tensor.Matrix
+	Backward(dhs []*tensor.Matrix) []*tensor.Matrix
+	// Stateful-training hooks (see state.go).
+	SetCarry(bool)
+	ResetState()
+	SnapshotState() any
+	RestoreState(any)
+}
+
+// LM is a full language model replica: input embedding → RNN → projection →
+// output embedding + softmax. One replica lives on each simulated rank.
+type LM struct {
+	Cfg Config
+	// InEmb and OutEmb are the V×D embedding matrices whose gradient
+	// exchange the paper optimizes.
+	InEmb, OutEmb *tensor.Matrix
+	rnn           recurrent
+	proj          *Linear
+	drop          *dropout
+
+	// caches from ForwardBackward
+	flatIDs []int
+}
+
+// NewLM builds a model from cfg with deterministic initialization.
+func NewLM(cfg Config) *LM {
+	if cfg.Vocab <= 0 || cfg.Dim <= 0 || cfg.Hidden <= 0 {
+		panic("model: Vocab, Dim and Hidden must be positive")
+	}
+	r := rng.New(cfg.Seed)
+	m := &LM{
+		Cfg:    cfg,
+		InEmb:  tensor.NewMatrix(cfg.Vocab, cfg.Dim),
+		OutEmb: tensor.NewMatrix(cfg.Vocab, cfg.Dim),
+	}
+	m.InEmb.RandomizeNormal(r, 0.05)
+	m.OutEmb.RandomizeNormal(r, 0.05)
+	switch cfg.RNN {
+	case KindLSTM:
+		m.rnn = NewLSTM(cfg.Dim, cfg.Hidden, r)
+	case KindRHN:
+		depth := cfg.RHNDepth
+		if depth == 0 {
+			depth = 2
+		}
+		m.rnn = NewRHN(cfg.Dim, cfg.Hidden, depth, r)
+	default:
+		panic(fmt.Sprintf("model: unknown RNN kind %d", cfg.RNN))
+	}
+	m.proj = NewLinear(cfg.Hidden, cfg.Dim, r)
+	m.rnn.SetCarry(cfg.Stateful)
+	m.drop = newDropout(cfg.Dropout, cfg.Seed^0x5bd1e995)
+	return m
+}
+
+// DenseLayers returns the layers whose gradients synchronize with a plain
+// ALLREDUCE (the RNN and projection — §II-B: "to update the RNN parameters,
+// the models perform an ALLREDUCE").
+func (m *LM) DenseLayers() []Layer { return []Layer{m.rnn, m.proj} }
+
+// DenseParams flattens DenseLayers' parameters.
+func (m *LM) DenseParams() []Param {
+	var ps []Param
+	for _, l := range m.DenseLayers() {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all dense gradient accumulators.
+func (m *LM) ZeroGrads() {
+	for _, l := range m.DenseLayers() {
+		l.ZeroGrads()
+	}
+}
+
+// StepResult is one training step's losses and embedding gradients. Dense
+// layer gradients accumulate inside the layers (DenseParams).
+type StepResult struct {
+	// LossSum is the summed training cross-entropy in nats; Count the
+	// token count (mean loss = LossSum/Count).
+	LossSum float64
+	Count   int
+	// InputGrad is the input-embedding sparse gradient (one row per
+	// token) for the §III exchange.
+	InputGrad core.SparseGrad
+	// OutputGrad is the output-embedding sparse gradient. For the full
+	// softmax it covers every vocabulary row (dense in sparse clothing);
+	// for sampled softmax it covers the candidate set only.
+	OutputGrad core.SparseGrad
+}
+
+// ForwardBackward runs one training step on a batch laid out as
+// inputs[t][b] / targets[t][b] (T timesteps × B sequences). For sampled
+// softmax pass the rank's sampler; with sampler == nil (or cfg.Sampled == 0)
+// the full softmax is used.
+func (m *LM) ForwardBackward(inputs, targets [][]int, sampler sampling.CandidateSampler) StepResult {
+	t := len(inputs)
+	if t == 0 || len(targets) != t {
+		panic("model: inputs/targets must have equal positive length")
+	}
+	batch := len(inputs[0])
+
+	// Input embedding lookup per timestep.
+	xs := make([]*tensor.Matrix, t)
+	flatIDs := make([]int, 0, t*batch)
+	for step := 0; step < t; step++ {
+		if len(inputs[step]) != batch || len(targets[step]) != batch {
+			panic("model: ragged batch")
+		}
+		x := tensor.NewMatrix(batch, m.Cfg.Dim)
+		tensor.GatherRows(x, m.InEmb, inputs[step])
+		xs[step] = x
+		flatIDs = append(flatIDs, inputs[step]...)
+	}
+	m.flatIDs = flatIDs
+
+	// RNN, then the projection applied to all timesteps stacked into one
+	// (T·B)×H block so the Linear layer holds a single forward cache.
+	hs := m.rnn.Forward(xs)
+	hStacked := tensor.NewMatrix(t*batch, m.Cfg.Hidden)
+	flatTargets := make([]int, 0, t*batch)
+	for step := 0; step < t; step++ {
+		copy(hStacked.Data[step*batch*m.Cfg.Hidden:], hs[step].Data)
+		flatTargets = append(flatTargets, targets[step]...)
+	}
+	m.drop.Apply(hStacked)
+	pStacked := m.proj.Forward(hStacked)
+
+	res := StepResult{}
+	var dp *tensor.Matrix
+	if m.Cfg.Sampled > 0 && sampler != nil {
+		out := SampledSoftmaxLoss(pStacked, m.OutEmb, flatTargets, sampler, m.Cfg.Sampled)
+		res.LossSum, res.Count = out.LossSum, out.Count
+		dp = out.DH
+		res.OutputGrad = core.SparseGrad{Indices: out.Candidates, Rows: out.DEmb}
+	} else {
+		lossSum, count, dh, dEmb := FullSoftmaxLoss(pStacked, m.OutEmb, flatTargets, true)
+		res.LossSum, res.Count = lossSum, count
+		dp = dh
+		allIdx := make([]int, m.Cfg.Vocab)
+		for i := range allIdx {
+			allIdx[i] = i
+		}
+		res.OutputGrad = core.SparseGrad{Indices: allIdx, Rows: dEmb}
+	}
+
+	// Backward through projection, dropout, RNN, embedding.
+	dhStacked := m.proj.Backward(dp)
+	m.drop.Backward(dhStacked)
+	dhs := make([]*tensor.Matrix, t)
+	for step := 0; step < t; step++ {
+		dh := tensor.NewMatrix(batch, m.Cfg.Hidden)
+		copy(dh.Data, dhStacked.Data[step*batch*m.Cfg.Hidden:(step+1)*batch*m.Cfg.Hidden])
+		dhs[step] = dh
+	}
+	dxs := m.rnn.Backward(dhs)
+
+	inRows := tensor.NewMatrix(t*batch, m.Cfg.Dim)
+	for step := 0; step < t; step++ {
+		copy(inRows.Data[step*batch*m.Cfg.Dim:], dxs[step].Data)
+	}
+	res.InputGrad = core.SparseGrad{Indices: flatIDs, Rows: inRows}
+	return res
+}
+
+// EvalLoss computes the full-softmax cross-entropy (nats, summed) over a
+// token stream without touching gradients — the validation perplexity of
+// Figures 5, 7 and 8. The stream is chunked into length-seqLen sequences.
+func (m *LM) EvalLoss(stream []int, seqLen int) (lossSum float64, count int) {
+	if seqLen <= 0 {
+		panic("model: seqLen must be positive")
+	}
+	// Borrow the RNN without disturbing training state; within the
+	// evaluation the state carries across chunks so long-range context is
+	// scored fairly.
+	saved := m.rnn.SnapshotState()
+	m.rnn.ResetState()
+	defer m.rnn.RestoreState(saved)
+	for lo := 0; lo+1 < len(stream); lo += seqLen {
+		hi := lo + seqLen
+		if hi+1 > len(stream) {
+			hi = len(stream) - 1
+		}
+		t := hi - lo
+		if t == 0 {
+			break
+		}
+		inputs := make([][]int, t)
+		targets := make([][]int, t)
+		for step := 0; step < t; step++ {
+			inputs[step] = []int{stream[lo+step]}
+			targets[step] = []int{stream[lo+step+1]}
+		}
+		xs := make([]*tensor.Matrix, t)
+		for step := 0; step < t; step++ {
+			x := tensor.NewMatrix(1, m.Cfg.Dim)
+			tensor.GatherRows(x, m.InEmb, inputs[step])
+			xs[step] = x
+		}
+		hs := m.rnn.Forward(xs)
+		hStacked := tensor.NewMatrix(t, m.Cfg.Hidden)
+		flatTargets := make([]int, t)
+		for step := 0; step < t; step++ {
+			copy(hStacked.Data[step*m.Cfg.Hidden:], hs[step].Data)
+			flatTargets[step] = targets[step][0]
+		}
+		p := m.proj.Forward(hStacked)
+		l, c, _, _ := FullSoftmaxLoss(p, m.OutEmb, flatTargets, false)
+		// Clear the projection's forward cache (no backward follows).
+		m.proj.x = nil
+		lossSum += l
+		count += c
+	}
+	return lossSum, count
+}
+
+// ResetRNNState zeroes the carried recurrent state (used at epoch
+// boundaries in stateful training).
+func (m *LM) ResetRNNState() { m.rnn.ResetState() }
+
+// CopyWeightsFrom copies every parameter of src into m (used to give all
+// ranks identical replicas at initialization, the §II-B invariant "the
+// model parameters on all GPUs are the same").
+func (m *LM) CopyWeightsFrom(src *LM) {
+	copy(m.InEmb.Data, src.InEmb.Data)
+	copy(m.OutEmb.Data, src.OutEmb.Data)
+	dst := m.DenseParams()
+	from := src.DenseParams()
+	if len(dst) != len(from) {
+		panic("model: replica shape mismatch")
+	}
+	for i := range dst {
+		if dst[i].Name != from[i].Name || len(dst[i].Value) != len(from[i].Value) {
+			panic("model: replica parameter mismatch at " + dst[i].Name)
+		}
+		copy(dst[i].Value, from[i].Value)
+	}
+}

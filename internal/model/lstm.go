@@ -1,0 +1,209 @@
+package model
+
+import (
+	"math"
+
+	"zipflm/internal/rng"
+	"zipflm/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory RNN processing a whole
+// sequence with full backpropagation through time. It is the recurrent core
+// of the paper's word language model (§IV-B: "one LSTM layer with 2048
+// cells").
+//
+// Gate layout inside the fused 4H dimension: input, forget, cell (g),
+// output.
+type LSTM struct {
+	In, Hidden int
+	// Wx is 4H×In, Wh is 4H×H, B is 4H (forget-gate slice initialized
+	// to 1, the standard trick for gradient flow early in training).
+	Wx, Wh *tensor.Matrix
+	B      []float32
+
+	gwx, gwh *tensor.Matrix
+	gb       []float32
+
+	// forward caches, one entry per timestep
+	xs, hs, cs      []*tensor.Matrix // inputs, hidden states, cell states
+	gi, gf, gg, go_ []*tensor.Matrix // post-activation gates
+	h0, c0          *tensor.Matrix
+
+	scratchX *tensor.Matrix
+	scratchH *tensor.Matrix
+
+	// stateful training (see state.go)
+	carry   bool
+	carried *carriedState
+}
+
+// NewLSTM returns an LSTM with Xavier-uniform weights and forget bias 1.
+func NewLSTM(in, hidden int, r *rng.RNG) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wx:       tensor.NewMatrix(4*hidden, in),
+		Wh:       tensor.NewMatrix(4*hidden, hidden),
+		B:        make([]float32, 4*hidden),
+		gwx:      tensor.NewMatrix(4*hidden, in),
+		gwh:      tensor.NewMatrix(4*hidden, hidden),
+		gb:       make([]float32, 4*hidden),
+		scratchX: tensor.NewMatrix(4*hidden, in),
+		scratchH: tensor.NewMatrix(4*hidden, hidden),
+	}
+	l.Wx.RandomizeUniform(r, math.Sqrt(6/float64(in+4*hidden)))
+	l.Wh.RandomizeUniform(r, math.Sqrt(6/float64(hidden+4*hidden)))
+	for i := hidden; i < 2*hidden; i++ {
+		l.B[i] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Forward runs the layer over xs (T matrices of B×In), starting from zero
+// initial state, and returns the T hidden states (B×H each).
+func (l *LSTM) Forward(xs []*tensor.Matrix) []*tensor.Matrix {
+	t := len(xs)
+	if t == 0 {
+		return nil
+	}
+	batch := xs[0].Rows
+	h := l.Hidden
+
+	l.xs = xs
+	l.hs = make([]*tensor.Matrix, t)
+	l.cs = make([]*tensor.Matrix, t)
+	l.gi = make([]*tensor.Matrix, t)
+	l.gf = make([]*tensor.Matrix, t)
+	l.gg = make([]*tensor.Matrix, t)
+	l.go_ = make([]*tensor.Matrix, t)
+	l.h0, l.c0 = initialState(l.carry, l.carried, batch, h, true)
+
+	hPrev, cPrev := l.h0, l.c0
+	zx := tensor.NewMatrix(batch, 4*h)
+	zh := tensor.NewMatrix(batch, 4*h)
+	for step := 0; step < t; step++ {
+		// z = x Wxᵀ + h_prev Whᵀ + b
+		tensor.MatMulABT(zx, xs[step], l.Wx)
+		tensor.MatMulABT(zh, hPrev, l.Wh)
+		gi := tensor.NewMatrix(batch, h)
+		gf := tensor.NewMatrix(batch, h)
+		gg := tensor.NewMatrix(batch, h)
+		gout := tensor.NewMatrix(batch, h)
+		ht := tensor.NewMatrix(batch, h)
+		ct := tensor.NewMatrix(batch, h)
+		for b := 0; b < batch; b++ {
+			zxr, zhr := zx.Row(b), zh.Row(b)
+			cpr := cPrev.Row(b)
+			for j := 0; j < h; j++ {
+				zi := float64(zxr[j] + zhr[j] + l.B[j])
+				zf := float64(zxr[h+j] + zhr[h+j] + l.B[h+j])
+				zg := float64(zxr[2*h+j] + zhr[2*h+j] + l.B[2*h+j])
+				zo := float64(zxr[3*h+j] + zhr[3*h+j] + l.B[3*h+j])
+				i := 1 / (1 + math.Exp(-zi))
+				f := 1 / (1 + math.Exp(-zf))
+				g := math.Tanh(zg)
+				o := 1 / (1 + math.Exp(-zo))
+				c := f*float64(cpr[j]) + i*g
+				gi.Row(b)[j] = float32(i)
+				gf.Row(b)[j] = float32(f)
+				gg.Row(b)[j] = float32(g)
+				gout.Row(b)[j] = float32(o)
+				ct.Row(b)[j] = float32(c)
+				ht.Row(b)[j] = float32(o * math.Tanh(c))
+			}
+		}
+		l.gi[step], l.gf[step], l.gg[step], l.go_[step] = gi, gf, gg, gout
+		l.hs[step], l.cs[step] = ht, ct
+		hPrev, cPrev = ht, ct
+	}
+	if l.carry {
+		// Detach the final state for the next batch (truncated BPTT).
+		l.carried = &carriedState{H: hPrev.Clone(), C: cPrev.Clone()}
+	}
+	return l.hs
+}
+
+// Backward consumes dLoss/dh per timestep and returns dLoss/dx per
+// timestep, accumulating weight gradients.
+func (l *LSTM) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
+	t := len(dhs)
+	if t != len(l.hs) {
+		panic("model: LSTM.Backward length mismatch with Forward")
+	}
+	if t == 0 {
+		return nil
+	}
+	batch := dhs[0].Rows
+	h := l.Hidden
+
+	dxs := make([]*tensor.Matrix, t)
+	dhNext := tensor.NewMatrix(batch, h) // gradient flowing from step+1's h
+	dcNext := tensor.NewMatrix(batch, h)
+	dz := tensor.NewMatrix(batch, 4*h)
+
+	for step := t - 1; step >= 0; step-- {
+		cPrev := l.c0
+		hPrev := l.h0
+		if step > 0 {
+			cPrev = l.cs[step-1]
+			hPrev = l.hs[step-1]
+		}
+		gi, gf, gg, gout := l.gi[step], l.gf[step], l.gg[step], l.go_[step]
+		ct := l.cs[step]
+
+		for b := 0; b < batch; b++ {
+			dhr := dhs[step].Row(b)
+			dhn := dhNext.Row(b)
+			dcn := dcNext.Row(b)
+			dzr := dz.Row(b)
+			for j := 0; j < h; j++ {
+				dh := float64(dhr[j] + dhn[j])
+				c := float64(ct.Row(b)[j])
+				tc := math.Tanh(c)
+				i := float64(gi.Row(b)[j])
+				f := float64(gf.Row(b)[j])
+				g := float64(gg.Row(b)[j])
+				o := float64(gout.Row(b)[j])
+
+				do := dh * tc
+				dc := float64(dcn[j]) + dh*o*(1-tc*tc)
+				di := dc * g
+				dg := dc * i
+				df := dc * float64(cPrev.Row(b)[j])
+
+				dzr[j] = float32(di * i * (1 - i))
+				dzr[h+j] = float32(df * f * (1 - f))
+				dzr[2*h+j] = float32(dg * (1 - g*g))
+				dzr[3*h+j] = float32(do * o * (1 - o))
+
+				dcn[j] = float32(dc * f)
+			}
+		}
+
+		// Parameter gradients: gWx += dzᵀ x_t ; gWh += dzᵀ h_{t-1} ;
+		// gb += colsum dz.
+		addOuter(l.gwx, dz, l.xs[step], l.scratchX)
+		addOuter(l.gwh, dz, hPrev, l.scratchH)
+		for b := 0; b < batch; b++ {
+			tensor.AddInPlace(l.gb, dz.Row(b))
+		}
+
+		// Input and recurrent gradients.
+		dx := tensor.NewMatrix(batch, l.In)
+		tensor.MatMul(dx, dz, l.Wx)
+		dxs[step] = dx
+		tensor.MatMul(dhNext, dz, l.Wh)
+	}
+	return dxs
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []Param {
+	return []Param{
+		{Name: "lstm.Wx", Value: l.Wx.Data, Grad: l.gwx.Data},
+		{Name: "lstm.Wh", Value: l.Wh.Data, Grad: l.gwh.Data},
+		{Name: "lstm.b", Value: l.B, Grad: l.gb},
+	}
+}
+
+// ZeroGrads implements Layer.
+func (l *LSTM) ZeroGrads() { zeroAll(l.Params()) }

@@ -1,0 +1,439 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
+)
+
+// numGradCheck compares analytic parameter gradients against central
+// differences of the scalar loss function. loss() must be a pure function
+// of the current parameter values; backward() must populate grads for the
+// mean loss.
+func numGradCheck(t *testing.T, name string, params []Param, loss func() float64, tol float64) {
+	t.Helper()
+	const eps = 1e-2
+	for _, p := range params {
+		stride := len(p.Value)/7 + 1 // probe a spread of coordinates
+		for i := 0; i < len(p.Value); i += stride {
+			orig := p.Value[i]
+			p.Value[i] = orig + eps
+			up := loss()
+			p.Value[i] = orig - eps
+			down := loss()
+			p.Value[i] = orig
+			want := (up - down) / (2 * eps)
+			got := float64(p.Grad[i])
+			diff := math.Abs(got - want)
+			scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+			if diff/scale > tol {
+				t.Errorf("%s %s[%d]: analytic %v vs numeric %v", name, p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearGradient(t *testing.T) {
+	r := rng.New(1)
+	l := NewLinear(3, 4, r)
+	x := tensor.NewMatrix(5, 3)
+	x.RandomizeNormal(r, 1)
+	target := tensor.NewMatrix(5, 4)
+	target.RandomizeNormal(r, 1)
+
+	// Loss: mean squared distance to a fixed target.
+	loss := func() float64 {
+		y := l.Forward(x)
+		l.x = nil
+		var sum float64
+		for i := range y.Data {
+			d := float64(y.Data[i] - target.Data[i])
+			sum += d * d
+		}
+		return sum / float64(len(y.Data))
+	}
+	y := l.Forward(x)
+	dy := tensor.NewMatrix(5, 4)
+	for i := range dy.Data {
+		dy.Data[i] = 2 * (y.Data[i] - target.Data[i]) / float32(len(y.Data))
+	}
+	l.ZeroGrads()
+	dx := l.Backward(dy)
+	numGradCheck(t, "linear", l.Params(), loss, 2e-2)
+
+	// Input gradient via the same check on one input coordinate.
+	const eps = 1e-2
+	orig := x.Data[0]
+	x.Data[0] = orig + eps
+	up := loss()
+	x.Data[0] = orig - eps
+	down := loss()
+	x.Data[0] = orig
+	want := (up - down) / (2 * eps)
+	if math.Abs(float64(dx.Data[0])-want) > 2e-2*math.Max(1, math.Abs(want)) {
+		t.Errorf("linear dx[0]: analytic %v vs numeric %v", dx.Data[0], want)
+	}
+}
+
+// lmMeanLoss is a helper computing the current mean loss of an LM on a
+// fixed batch with the full softmax (pure function of weights).
+func lmMeanLoss(m *LM, inputs, targets [][]int) float64 {
+	t := len(inputs)
+	batch := len(inputs[0])
+	xs := make([]*tensor.Matrix, t)
+	for step := 0; step < t; step++ {
+		x := tensor.NewMatrix(batch, m.Cfg.Dim)
+		tensor.GatherRows(x, m.InEmb, inputs[step])
+		xs[step] = x
+	}
+	hs := m.rnn.Forward(xs)
+	hStacked := tensor.NewMatrix(t*batch, m.Cfg.Hidden)
+	flat := make([]int, 0, t*batch)
+	for step := 0; step < t; step++ {
+		copy(hStacked.Data[step*batch*m.Cfg.Hidden:], hs[step].Data)
+		flat = append(flat, targets[step]...)
+	}
+	p := m.proj.Forward(hStacked)
+	m.proj.x = nil
+	lossSum, count, _, _ := FullSoftmaxLoss(p, m.OutEmb, flat, false)
+	return lossSum / float64(count)
+}
+
+func gradCheckLM(t *testing.T, kind RNNKind, depth int) {
+	t.Helper()
+	cfg := Config{Vocab: 11, Dim: 5, Hidden: 6, RNN: kind, RHNDepth: depth, Seed: 3}
+	m := NewLM(cfg)
+	r := rng.New(9)
+	const T, B = 4, 3
+	inputs := make([][]int, T)
+	targets := make([][]int, T)
+	for step := 0; step < T; step++ {
+		inputs[step] = make([]int, B)
+		targets[step] = make([]int, B)
+		for b := 0; b < B; b++ {
+			inputs[step][b] = r.Intn(cfg.Vocab)
+			targets[step][b] = r.Intn(cfg.Vocab)
+		}
+	}
+
+	m.ZeroGrads()
+	res := m.ForwardBackward(inputs, targets, nil)
+	if res.Count != T*B {
+		t.Fatalf("count = %d, want %d", res.Count, T*B)
+	}
+
+	loss := func() float64 { return lmMeanLoss(m, inputs, targets) }
+	numGradCheck(t, "lm-dense", m.DenseParams(), loss, 5e-2)
+
+	// Input-embedding gradient: accumulate sparse rows per word (the rows
+	// carry mean-loss scaling already, flowing from the mean-scaled
+	// dlogits), compare against numerical derivatives.
+	accum := make(map[int][]float64)
+	for i, w := range res.InputGrad.Indices {
+		row := accum[w]
+		if row == nil {
+			row = make([]float64, cfg.Dim)
+			accum[w] = row
+		}
+		for c, v := range res.InputGrad.Rows.Row(i) {
+			row[c] += float64(v)
+		}
+	}
+	const eps = 1e-2
+	checked := 0
+	for w, row := range accum {
+		for c := 0; c < cfg.Dim; c += 2 {
+			orig := m.InEmb.At(w, c)
+			m.InEmb.Set(w, c, orig+eps)
+			up := loss()
+			m.InEmb.Set(w, c, orig-eps)
+			down := loss()
+			m.InEmb.Set(w, c, orig)
+			want := (up - down) / (2 * eps)
+			scale := math.Max(math.Abs(want), math.Max(math.Abs(row[c]), 0.02))
+			if math.Abs(row[c]-want) > 0.1*scale {
+				t.Errorf("inEmb[%d,%d]: analytic %v vs numeric %v", w, c, row[c], want)
+			}
+		}
+		checked++
+		if checked == 3 {
+			break
+		}
+	}
+
+	// Output-embedding gradient (full softmax → covers all rows).
+	og := res.OutputGrad
+	for i, w := range og.Indices[:3] {
+		c := 1
+		orig := m.OutEmb.At(w, c)
+		m.OutEmb.Set(w, c, orig+eps)
+		up := loss()
+		m.OutEmb.Set(w, c, orig-eps)
+		down := loss()
+		m.OutEmb.Set(w, c, orig)
+		want := (up - down) / (2 * eps)
+		got := float64(og.Rows.At(i, c))
+		if math.Abs(got-want) > 5e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("outEmb[%d,%d]: analytic %v vs numeric %v", w, c, got, want)
+		}
+	}
+}
+
+func TestLSTMLMGradient(t *testing.T) { gradCheckLM(t, KindLSTM, 0) }
+func TestRHNLMGradient(t *testing.T)  { gradCheckLM(t, KindRHN, 3) }
+
+func TestSampledSoftmaxGradient(t *testing.T) {
+	r := rng.New(5)
+	const B, D, V, S = 4, 5, 40, 12
+	h := tensor.NewMatrix(B, D)
+	h.RandomizeNormal(r, 1)
+	emb := tensor.NewMatrix(V, D)
+	emb.RandomizeNormal(r, 0.5)
+	targets := []int{3, 17, 3, 29}
+
+	// The candidate set must be identical across numerical probes, so the
+	// sampler is re-seeded per evaluation.
+	loss := func() float64 {
+		s := sampling.NewSampler(V, 77)
+		res := SampledSoftmaxLoss(h, emb, targets, s, S)
+		return res.LossSum / float64(res.Count)
+	}
+	s := sampling.NewSampler(V, 77)
+	res := SampledSoftmaxLoss(h, emb, targets, s, S)
+
+	const eps = 1e-3
+	// dH check.
+	for _, i := range []int{0, 7, 13} {
+		orig := h.Data[i]
+		h.Data[i] = orig + eps
+		up := loss()
+		h.Data[i] = orig - eps
+		down := loss()
+		h.Data[i] = orig
+		want := (up - down) / (2 * eps)
+		if math.Abs(float64(res.DH.Data[i])-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("dH[%d]: analytic %v vs numeric %v", i, res.DH.Data[i], want)
+		}
+	}
+	// dEmb check on candidate rows.
+	for ci, w := range res.Candidates[:4] {
+		c := 2
+		orig := emb.At(w, c)
+		emb.Set(w, c, orig+eps)
+		up := loss()
+		emb.Set(w, c, orig-eps)
+		down := loss()
+		emb.Set(w, c, orig)
+		want := (up - down) / (2 * eps)
+		got := float64(res.DEmb.At(ci, c))
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("dEmb[%d,%d]: analytic %v vs numeric %v", w, c, got, want)
+		}
+	}
+}
+
+func TestSampledLossApproximatesFullLoss(t *testing.T) {
+	r := rng.New(6)
+	const B, D, V = 8, 6, 50
+	h := tensor.NewMatrix(B, D)
+	h.RandomizeNormal(r, 0.5)
+	emb := tensor.NewMatrix(V, D)
+	emb.RandomizeNormal(r, 0.3)
+	targets := make([]int, B)
+	for i := range targets {
+		targets[i] = r.Intn(V)
+	}
+	fullSum, fullCount, _, _ := FullSoftmaxLoss(h, emb, targets, false)
+	full := fullSum / float64(fullCount)
+
+	// The sampled loss is a Jensen-biased *under*-estimate of the full
+	// loss (fewer competitors in the partition function); the bias must
+	// shrink as S grows toward |V|.
+	meanSampled := func(nSamples int) float64 {
+		var acc float64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			s := sampling.NewSampler(V, uint64(1000+i))
+			res := SampledSoftmaxLoss(h, emb, targets, s, nSamples)
+			acc += res.LossSum / float64(res.Count)
+		}
+		return acc / trials
+	}
+	small := meanSampled(10)
+	large := meanSampled(45)
+	if small > full+0.05 || large > full+0.05 {
+		t.Errorf("sampled loss exceeds full loss: S=10 %v, S=45 %v, full %v", small, large, full)
+	}
+	if full-large > 0.3 {
+		t.Errorf("near-full sampling still far off: %v vs %v", large, full)
+	}
+	if full-large > full-small {
+		t.Errorf("bias did not shrink with S: S=10 gap %v, S=45 gap %v", full-small, full-large)
+	}
+}
+
+func TestFullSoftmaxGradSumsToZeroPerRow(t *testing.T) {
+	r := rng.New(7)
+	h := tensor.NewMatrix(3, 4)
+	h.RandomizeNormal(r, 1)
+	emb := tensor.NewMatrix(10, 4)
+	emb.RandomizeNormal(r, 1)
+	_, _, _, dEmb := FullSoftmaxLoss(h, emb, []int{1, 5, 9}, true)
+	// Column sums of dEmb equal sum_b (p_b - onehot_b) ᵀ h_b summed; each
+	// softmax row's probability sums to 1, so Σ_w dlogits[b][w] = 0 and
+	// the total embedding gradient projected on any h direction vanishes.
+	for c := 0; c < 4; c++ {
+		var sum float64
+		for w := 0; w < 10; w++ {
+			sum += float64(dEmb.At(w, c))
+		}
+		if math.Abs(sum) > 1e-4 {
+			t.Errorf("col %d of dEmb sums to %v, want ~0", c, sum)
+		}
+	}
+}
+
+func TestLMTrainingReducesLoss(t *testing.T) {
+	cfg := Config{Vocab: 20, Dim: 8, Hidden: 12, RNN: KindLSTM, Seed: 1}
+	m := NewLM(cfg)
+	r := rng.New(2)
+	const T, B = 6, 4
+	inputs := make([][]int, T)
+	targets := make([][]int, T)
+	for step := 0; step < T; step++ {
+		inputs[step] = make([]int, B)
+		targets[step] = make([]int, B)
+		for b := 0; b < B; b++ {
+			// A deterministic pattern the model can learn.
+			inputs[step][b] = (step + b) % cfg.Vocab
+			targets[step][b] = (step + b + 1) % cfg.Vocab
+		}
+	}
+	_ = r
+	first := -1.0
+	var last float64
+	const lr = 0.5
+	for iter := 0; iter < 300; iter++ {
+		m.ZeroGrads()
+		res := m.ForwardBackward(inputs, targets, nil)
+		mean := res.LossSum / float64(res.Count)
+		if first < 0 {
+			first = mean
+		}
+		last = mean
+		// Plain SGD on all parts.
+		for _, p := range m.DenseParams() {
+			for i := range p.Value {
+				p.Value[i] -= lr * p.Grad[i]
+			}
+		}
+		// Embedding gradients already carry the mean-loss 1/Count factor.
+		for i, w := range res.InputGrad.Indices {
+			tensor.Axpy(-lr, m.InEmb.Row(w), res.InputGrad.Rows.Row(i))
+		}
+		for i, w := range res.OutputGrad.Indices {
+			tensor.Axpy(-lr, m.OutEmb.Row(w), res.OutputGrad.Rows.Row(i))
+		}
+	}
+	// The pattern is deterministic (target = input+1 mod V), so training
+	// must drive the loss far below the ln(V) ≈ 3.0 starting point.
+	if last > first*0.35 {
+		t.Errorf("training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestEvalLoss(t *testing.T) {
+	cfg := Config{Vocab: 15, Dim: 6, Hidden: 8, RNN: KindLSTM, Seed: 4}
+	m := NewLM(cfg)
+	stream := make([]int, 101)
+	r := rng.New(3)
+	for i := range stream {
+		stream[i] = r.Intn(cfg.Vocab)
+	}
+	lossSum, count := m.EvalLoss(stream, 10)
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	mean := lossSum / float64(count)
+	// Untrained model on uniform data: mean loss ≈ ln(V).
+	if math.Abs(mean-math.Log(15)) > 0.5 {
+		t.Errorf("untrained eval loss %v, want ≈ %v", mean, math.Log(15))
+	}
+}
+
+func TestCopyWeightsProducesIdenticalReplicas(t *testing.T) {
+	cfg := Config{Vocab: 12, Dim: 4, Hidden: 5, RNN: KindRHN, RHNDepth: 2, Seed: 1}
+	a := NewLM(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 999
+	b := NewLM(cfg2)
+	b.CopyWeightsFrom(a)
+	stream := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	la, ca := a.EvalLoss(stream, 4)
+	lb, cb := b.EvalLoss(stream, 4)
+	if la != lb || ca != cb {
+		t.Errorf("replicas differ after copy: %v/%d vs %v/%d", la, ca, lb, cb)
+	}
+}
+
+func TestMetricsConversions(t *testing.T) {
+	if math.Abs(Perplexity(math.Log(11.1))-11.1) > 1e-9 {
+		t.Error("Perplexity(ln 11.1) != 11.1")
+	}
+	// Paper §V-C: perplexity 11.1 → BPC log2(11.1) ≈ 3.47.
+	bpc := BitsPerChar(math.Log(11.1))
+	if math.Abs(bpc-math.Log2(11.1)) > 1e-9 {
+		t.Errorf("BPC = %v", bpc)
+	}
+	// Paper §V-C: 2.71 bytes/char at that BPC gives compression ≈ 6.3.
+	cr := CompressionRatio(2.71, bpc)
+	if math.Abs(cr-6.3) > 0.15 {
+		t.Errorf("compression ratio = %v, paper says ≈ 6.3", cr)
+	}
+	// And [21]'s 1.11 BPC on 1 byte/char Amazon text gives ≈ 6.8... no:
+	// paper derives 6.8 from " bit per character of 1.11" with ~1.06
+	// bytes/char effective; check the stated 6.8 within broad tolerance.
+	cr21 := CompressionRatio(0.95, 1.11)
+	if cr21 < 6.0 || cr21 > 7.5 {
+		t.Errorf("SOTA compression ratio = %v, paper cites 6.8", cr21)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	r := rng.New(1)
+	l := NewLinear(3, 4, r)
+	if got := NumParams(l); got != 3*4+4 {
+		t.Errorf("NumParams = %d, want 16", got)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cfg := Config{Vocab: 10, Dim: 4, Hidden: 4, RNN: KindLSTM, Seed: 1}
+	m := NewLM(cfg)
+	for _, f := range []func(){
+		func() { NewLM(Config{}) },
+		func() { m.ForwardBackward(nil, nil, nil) },
+		func() { m.ForwardBackward([][]int{{1}}, [][]int{{1}, {2}}, nil) },
+		func() { m.EvalLoss([]int{1, 2}, 0) },
+		func() {
+			h := tensor.NewMatrix(2, 4)
+			FullSoftmaxLoss(h, m.OutEmb, []int{1}, false)
+		},
+		func() {
+			h := tensor.NewMatrix(1, 4)
+			FullSoftmaxLoss(h, m.OutEmb, []int{99}, false)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,59 @@
+// Package model implements the RNN language models of §IV-B in pure Go:
+// input/output embeddings, an LSTM layer (word LM) and a recurrent highway
+// network layer (char LM, after Hestness et al.), a linear projection, and
+// full plus sampled softmax losses, all with exact analytic backward passes
+// (verified against numerical gradients in the tests).
+//
+// The layers follow a single convention: Forward caches whatever Backward
+// needs, so exactly one Forward may be outstanding per layer at a time —
+// the pattern a data-parallel trainer uses, where each rank owns a private
+// model replica.
+package model
+
+import "zipflm/internal/tensor"
+
+// Param is one named dense parameter tensor with its gradient accumulator.
+// Value and Grad always have equal length; optimizers walk these pairs.
+type Param struct {
+	Name  string
+	Value []float32
+	Grad  []float32
+}
+
+// Layer is anything that owns dense parameters.
+type Layer interface {
+	// Params returns the layer's parameters; gradients accumulate into
+	// the returned Grad slices across Backward calls until ZeroGrads.
+	Params() []Param
+	// ZeroGrads clears all gradient accumulators.
+	ZeroGrads()
+}
+
+// zeroAll clears each gradient slice.
+func zeroAll(ps []Param) {
+	for _, p := range ps {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// NumParams sums parameter counts over layers (the "213 million parameters"
+// style accounting of §IV-B).
+func NumParams(layers ...Layer) int {
+	n := 0
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			n += len(p.Value)
+		}
+	}
+	return n
+}
+
+// addOuter accumulates dst += aᵀ @ b without disturbing dst's existing
+// contents (MatMulATB overwrites, so gradient accumulation goes through a
+// scratch matrix).
+func addOuter(dst, a, b *tensor.Matrix, scratch *tensor.Matrix) {
+	tensor.MatMulATB(scratch, a, b)
+	tensor.AddInPlace(dst.Data, scratch.Data)
+}

@@ -1,0 +1,150 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
+)
+
+// FullSoftmaxLoss scores every vocabulary word: logits = h·Eᵀ over the
+// output embedding E (V×D), then cross-entropy against the targets. The
+// paper's character model uses this (§V-B: "full softmax was used instead
+// of sampled softmax layer" because the vocabulary is tiny), and validation
+// perplexity always does.
+//
+// Returns the summed cross-entropy (nats), token count, dLoss/dh (nil when
+// computeGrad is false) and the dense dLoss/dE (nil likewise). Gradients
+// are for the *mean* loss over the batch.
+func FullSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, computeGrad bool) (lossSum float64, count int, dh, dEmb *tensor.Matrix) {
+	if h.Rows != len(targets) {
+		panic(fmt.Sprintf("model: %d hidden rows, %d targets", h.Rows, len(targets)))
+	}
+	v := outEmb.Rows
+	logits := tensor.NewMatrix(h.Rows, v)
+	tensor.MatMulABT(logits, h, outEmb)
+
+	count = len(targets)
+	var dlogits *tensor.Matrix
+	if computeGrad {
+		dlogits = tensor.NewMatrix(h.Rows, v)
+	}
+	invCount := float32(1)
+	if count > 0 {
+		invCount = float32(1.0 / float64(count))
+	}
+	for b, target := range targets {
+		if target < 0 || target >= v {
+			panic(fmt.Sprintf("model: target %d outside vocabulary %d", target, v))
+		}
+		row := logits.Row(b)
+		lse := tensor.LogSumExpRow(row)
+		lossSum += lse - float64(row[target])
+		if computeGrad {
+			dr := dlogits.Row(b)
+			for j, l := range row {
+				p := float32(math.Exp(float64(l) - lse))
+				dr[j] = p * invCount
+			}
+			dr[target] -= invCount
+		}
+	}
+	if !computeGrad {
+		return lossSum, count, nil, nil
+	}
+	dh = tensor.NewMatrix(h.Rows, h.Cols)
+	tensor.MatMul(dh, dlogits, outEmb)
+	dEmb = tensor.NewMatrix(v, h.Cols)
+	tensor.MatMulATB(dEmb, dlogits, h)
+	return lossSum, count, dh, dEmb
+}
+
+// SampledSoftmaxResult carries what a sampled-softmax step produces.
+type SampledSoftmaxResult struct {
+	// LossSum is the summed sampled cross-entropy (nats) over the batch.
+	LossSum float64
+	// Count is the number of scored tokens.
+	Count int
+	// DH is dLoss/dh for the mean loss (B×D).
+	DH *tensor.Matrix
+	// Candidates are the scored vocabulary ids (unique, targets included).
+	Candidates []int
+	// DEmb is the len(Candidates)×D gradient of the output embedding rows
+	// — exactly the SparseGrad the §III exchange engines consume.
+	DEmb *tensor.Matrix
+}
+
+// SampledSoftmaxLoss scores only the candidate set drawn by the rank's
+// sampler (§II-A): S negatives from the log-uniform distribution plus the
+// batch's target words, with the standard log-expected-count logit
+// correction so the sampled loss estimates the full loss.
+func SampledSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, s sampling.CandidateSampler, nSamples int) SampledSoftmaxResult {
+	if h.Rows != len(targets) {
+		panic(fmt.Sprintf("model: %d hidden rows, %d targets", h.Rows, len(targets)))
+	}
+	candidates := s.Sample(nSamples, targets)
+	nc := len(candidates)
+	candPos := make(map[int]int, nc)
+	for i, c := range candidates {
+		candPos[c] = i
+	}
+
+	// Candidate embedding block (nc×D) and logits (B×nc).
+	candEmb := tensor.NewMatrix(nc, outEmb.Cols)
+	tensor.GatherRows(candEmb, outEmb, candidates)
+	logits := tensor.NewMatrix(h.Rows, nc)
+	tensor.MatMulABT(logits, h, candEmb)
+
+	// Subtract log(S·Q(c)) per candidate column.
+	corr := make([]float32, nc)
+	for i, c := range candidates {
+		corr[i] = float32(s.LogExpectedCount(nSamples, c))
+	}
+	for b := 0; b < logits.Rows; b++ {
+		row := logits.Row(b)
+		for j := range row {
+			row[j] -= corr[j]
+		}
+	}
+
+	res := SampledSoftmaxResult{Count: len(targets), Candidates: candidates}
+	dlogits := tensor.NewMatrix(h.Rows, nc)
+	invCount := float32(1.0 / float64(len(targets)))
+	for b, target := range targets {
+		pos, ok := candPos[target]
+		if !ok {
+			panic("model: target missing from candidate set")
+		}
+		row := logits.Row(b)
+		lse := tensor.LogSumExpRow(row)
+		res.LossSum += lse - float64(row[pos])
+		dr := dlogits.Row(b)
+		for j, l := range row {
+			p := float32(math.Exp(float64(l) - lse))
+			dr[j] = p * invCount
+		}
+		dr[pos] -= invCount
+	}
+
+	res.DH = tensor.NewMatrix(h.Rows, h.Cols)
+	tensor.MatMul(res.DH, dlogits, candEmb)
+	res.DEmb = tensor.NewMatrix(nc, outEmb.Cols)
+	tensor.MatMulATB(res.DEmb, dlogits, h)
+	return res
+}
+
+// Perplexity converts a mean cross-entropy in nats to perplexity, the
+// accuracy metric of Figures 5, 7, 8 and Table V.
+func Perplexity(meanNats float64) float64 { return math.Exp(meanNats) }
+
+// BitsPerChar converts a mean cross-entropy in nats to bits per character,
+// the §V-D comparison metric (BPC = log2 perplexity).
+func BitsPerChar(meanNats float64) float64 { return meanNats / math.Ln2 }
+
+// CompressionRatio computes the §V-C metric: corpus bytes divided by
+// (bits-per-char · chars / 8). The paper reports 6.3 for Tieba (perplexity
+// 11.1 at 2.71 bytes/char) against 6.8 for the Amazon SOTA.
+func CompressionRatio(bytesPerChar, bpc float64) float64 {
+	return bytesPerChar * 8 / bpc
+}

@@ -1,0 +1,105 @@
+package model
+
+import "zipflm/internal/tensor"
+
+// Stateful training support. Real LM training feeds each batch lane a
+// contiguous slice of the corpus and carries the RNN state across batches
+// (truncated BPTT): gradients stop at the batch boundary but the forward
+// state flows on, so the model can exploit context longer than one
+// sequence. The recurrent layers implement this with a carried-state flag:
+//
+//	layer.SetCarry(true)
+//	out1 := layer.Forward(batch1) // from zero state
+//	out2 := layer.Forward(batch2) // from batch1's final state (detached)
+//
+// Backward never propagates into the carried state — the standard
+// truncation. ResetState returns to a zero initial state (used at epoch
+// boundaries); Snapshot/Restore let evaluation borrow the layer without
+// disturbing training state.
+
+// carriedState is the detached recurrent state shared by LSTM (h and c) and
+// RHN (s only; C stays nil).
+type carriedState struct {
+	H, C *tensor.Matrix
+}
+
+func cloneMat(m *tensor.Matrix) *tensor.Matrix {
+	if m == nil {
+		return nil
+	}
+	return m.Clone()
+}
+
+// clone deep-copies the state.
+func (s *carriedState) clone() *carriedState {
+	if s == nil {
+		return nil
+	}
+	return &carriedState{H: cloneMat(s.H), C: cloneMat(s.C)}
+}
+
+// SetCarry enables or disables state carry-over on the LSTM. Disabling also
+// clears any held state.
+func (l *LSTM) SetCarry(on bool) {
+	l.carry = on
+	if !on {
+		l.carried = nil
+	}
+}
+
+// ResetState zeroes the carried state (the next Forward starts fresh).
+func (l *LSTM) ResetState() { l.carried = nil }
+
+// SnapshotState returns an opaque copy of the carried state.
+func (l *LSTM) SnapshotState() any { return l.carried.clone() }
+
+// RestoreState reinstates a state from SnapshotState.
+func (l *LSTM) RestoreState(s any) {
+	if s == nil {
+		l.carried = nil
+		return
+	}
+	l.carried = s.(*carriedState).clone()
+}
+
+// SetCarry enables or disables state carry-over on the RHN.
+func (l *RHN) SetCarry(on bool) {
+	l.carry = on
+	if !on {
+		l.carried = nil
+	}
+}
+
+// ResetState zeroes the carried state.
+func (l *RHN) ResetState() { l.carried = nil }
+
+// SnapshotState returns an opaque copy of the carried state.
+func (l *RHN) SnapshotState() any { return l.carried.clone() }
+
+// RestoreState reinstates a state from SnapshotState.
+func (l *RHN) RestoreState(s any) {
+	if s == nil {
+		l.carried = nil
+		return
+	}
+	l.carried = s.(*carriedState).clone()
+}
+
+// initialState returns the starting (h0, c0) for a forward pass of the
+// given batch size: the carried state when enabled and shape-compatible,
+// zeros otherwise. The returned matrices are owned by the caller.
+func initialState(carry bool, carried *carriedState, batch, hidden int, needC bool) (h0, c0 *tensor.Matrix) {
+	if carry && carried != nil && carried.H != nil && carried.H.Rows == batch && carried.H.Cols == hidden {
+		h0 = carried.H.Clone()
+		if needC && carried.C != nil {
+			c0 = carried.C.Clone()
+		}
+	}
+	if h0 == nil {
+		h0 = tensor.NewMatrix(batch, hidden)
+	}
+	if needC && c0 == nil {
+		c0 = tensor.NewMatrix(batch, hidden)
+	}
+	return h0, c0
+}

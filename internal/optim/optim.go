@@ -1,0 +1,194 @@
+// Package optim provides the optimizers of §IV-B: plain SGD (word LM) and
+// Adam with weight decay (char LM), plus the paper's learning-rate scaling
+// rule — base rate multiplied by ln(#nodes) as GPUs grow — and epoch decay.
+//
+// Embedding matrices are updated with SGD-style row updates applied from
+// the globally exchanged core.Update (sparse rows); dense RNN/projection
+// parameters go through the Optimizer interface below.
+package optim
+
+import (
+	"math"
+
+	"zipflm/internal/model"
+)
+
+// Optimizer updates dense parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update at the given learning rate and clears
+	// nothing — callers zero gradients between steps.
+	Step(params []model.Param, lr float32)
+}
+
+// SGD is stochastic gradient descent, the word-LM optimizer (§IV-B: "we
+// used stochastic gradient descent (SGD) for optimizing per-sequence word
+// cross-entropy loss").
+type SGD struct{}
+
+// Step implements Optimizer.
+func (SGD) Step(params []model.Param, lr float32) {
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.Value[i] -= lr * g
+		}
+	}
+}
+
+// Adam implements Adam with decoupled weight decay (AdamW-style), the
+// char-LM optimizer (§IV-B: "we use Adam with weight decay and dropout").
+type Adam struct {
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	t int
+	m map[string][]float64
+	v map[string][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard moment coefficients.
+func NewAdam(weightDecay float64) *Adam {
+	return &Adam{
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		WeightDecay: weightDecay,
+		m:           make(map[string][]float64),
+		v:           make(map[string][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []model.Param, lr float32) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p.Name]
+		if m == nil {
+			m = make([]float64, len(p.Value))
+			a.m[p.Name] = m
+			a.v[p.Name] = make([]float64, len(p.Value))
+		}
+		v := a.v[p.Name]
+		for i, g64 := range p.Grad {
+			g := float64(g64)
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			upd := mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*float64(p.Value[i])
+			p.Value[i] -= lr * float32(upd)
+		}
+	}
+}
+
+// Schedule is the paper's learning-rate policy: a base rate for the 8-GPU
+// (one node) configuration, multiplied by ln(#nodes) when scaling out
+// (§V-A: "we use 0.2 as the base learning rate … and then used a
+// multiplying factor of log_e |nodes|"), decayed per epoch by a factor in
+// [0.85, 0.95].
+type Schedule struct {
+	// Base is the single-node learning rate (0.2 word LM, 1e-3 char LM).
+	Base float64
+	// GPUsPerNode converts rank counts to node counts (paper: 8).
+	GPUsPerNode int
+	// Decay is the per-epoch multiplicative decay (paper: 0.85–0.95).
+	Decay float64
+}
+
+// LR returns the learning rate for the given cluster size and 0-based epoch.
+func (s Schedule) LR(gpus int, epoch int) float64 {
+	nodes := float64(gpus) / float64(s.GPUsPerNode)
+	scale := 1.0
+	if nodes > 1 {
+		scale = math.Log(nodes)
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	lr := s.Base * scale
+	for e := 0; e < epoch; e++ {
+		lr *= s.Decay
+	}
+	return lr
+}
+
+// LossScaler implements mixed-precision loss scaling (§III-C): the training
+// loss is multiplied by F before gradients are computed and gradients are
+// divided by F before the weight update, keeping small gradient values out
+// of the FP16 flush-to-zero range.
+type LossScaler struct {
+	// F is the scale factor (paper examples: 256, 512, 1024).
+	F float32
+}
+
+// ScaleLoss returns loss·F.
+func (s LossScaler) ScaleLoss(loss float64) float64 { return loss * float64(s.F) }
+
+// UnscaleGrads divides every gradient by F in place.
+func (s LossScaler) UnscaleGrads(params []model.Param) {
+	inv := 1 / s.F
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= inv
+		}
+	}
+}
+
+// DynamicLossScaler is the production refinement of fixed loss scaling
+// (used by Apex/AMP-era stacks contemporary with the paper): the factor
+// grows geometrically while training is healthy and backs off sharply when
+// scaled gradients overflow, so F stays near the largest safe value without
+// manual tuning.
+type DynamicLossScaler struct {
+	// F is the current scale factor.
+	F float32
+	// GrowthInterval is the number of consecutive overflow-free steps
+	// before F doubles.
+	GrowthInterval int
+	// MaxF caps growth (FP16 saturates near 65504).
+	MaxF float32
+
+	goodSteps int
+}
+
+// NewDynamicLossScaler starts at initF (e.g. 1024) with the standard
+// growth/backoff policy (×2 after 200 clean steps, ÷2 on overflow).
+func NewDynamicLossScaler(initF float32) *DynamicLossScaler {
+	if initF <= 0 {
+		panic("optim: non-positive initial loss scale")
+	}
+	return &DynamicLossScaler{F: initF, GrowthInterval: 200, MaxF: 32768}
+}
+
+// Update inspects the step's scaled gradients for overflow (Inf/NaN) and
+// adjusts F. It returns false when the step must be skipped (overflow:
+// gradients are garbage at any precision).
+func (d *DynamicLossScaler) Update(params []model.Param) bool {
+	overflow := false
+scan:
+	for _, p := range params {
+		for _, g := range p.Grad {
+			if math.IsInf(float64(g), 0) || math.IsNaN(float64(g)) {
+				overflow = true
+				break scan
+			}
+		}
+	}
+	if overflow {
+		d.F /= 2
+		if d.F < 1 {
+			d.F = 1
+		}
+		d.goodSteps = 0
+		return false
+	}
+	d.goodSteps++
+	if d.goodSteps >= d.GrowthInterval && d.F < d.MaxF {
+		d.F *= 2
+		if d.F > d.MaxF {
+			d.F = d.MaxF
+		}
+		d.goodSteps = 0
+	}
+	return true
+}

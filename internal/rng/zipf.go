@@ -1,0 +1,113 @@
+package rng
+
+import "math"
+
+// Zipf draws integers k in [0, n) with probability proportional to
+// 1/(k+1)^s, the classic Zipf rank-frequency law the paper builds on
+// (word frequency inversely proportional to rank). It uses the
+// rejection-inversion method of Hörmann and Derflinger, which has O(1)
+// expected cost per sample independent of n, so corpora with multi-million
+// word vocabularies synthesize quickly.
+//
+// s must be > 0 and != 1 is NOT required; s == 1 is handled via the
+// logarithmic branch of the generalized harmonic integral.
+type Zipf struct {
+	r *RNG
+	n float64
+	s float64
+	// Precomputed constants of the rejection-inversion scheme.
+	hx0       float64 // h(x0) shifted integral at left edge
+	hImaxX    float64 // H(imax + 1/2)
+	hImaxDiff float64 // hx0 - hImaxX
+	oneMinusS float64
+}
+
+// NewZipf returns a Zipf sampler over ranks [0, n) with exponent s > 0.
+// It panics on invalid parameters.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	z := &Zipf{r: r, n: float64(n), s: s, oneMinusS: 1 - s}
+	z.hx0 = z.h(0.5) - math.Exp(-s*math.Log(1))
+	z.hImaxX = z.h(z.n + 0.5)
+	z.hImaxDiff = z.hx0 - z.hImaxX
+	return z
+}
+
+// h is the antiderivative of x^-s over the shifted domain, using ranks
+// starting at 1 internally (sample k+1, return k).
+func (z *Zipf) h(x float64) float64 {
+	if z.s == 1 {
+		return -math.Log(x)
+	}
+	return -math.Exp(z.oneMinusS*math.Log(x)) / z.oneMinusS
+}
+
+// hInv is the inverse of h.
+func (z *Zipf) hInv(x float64) float64 {
+	if z.s == 1 {
+		return math.Exp(-x)
+	}
+	return math.Exp(1 / z.oneMinusS * math.Log(-z.oneMinusS*x))
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	for {
+		u := z.hImaxX + z.r.Float64()*z.hImaxDiff
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > z.n {
+			k = z.n
+		}
+		if k-x <= 0.5 || u >= z.h(k+0.5)-math.Exp(-z.s*math.Log(k)) {
+			return int(k) - 1
+		}
+	}
+}
+
+// LogUniform draws integers in [0, n) with P(k) proportional to
+// log((k+2)/(k+1)), the "log-uniform" candidate distribution TensorFlow's
+// sampled softmax uses and the paper's sampled-softmax layer assumes: when
+// the vocabulary is sorted by descending frequency (as ours is), the
+// candidate distribution approximates the Zipf unigram distribution.
+type LogUniform struct {
+	r     *RNG
+	n     int
+	logN1 float64
+}
+
+// NewLogUniform returns a log-uniform sampler over [0, n).
+func NewLogUniform(r *RNG, n int) *LogUniform {
+	if n <= 0 {
+		panic("rng: NewLogUniform with non-positive n")
+	}
+	return &LogUniform{r: r, n: n, logN1: math.Log(float64(n) + 1)}
+}
+
+// Next returns the next log-uniform sample in [0, n).
+func (l *LogUniform) Next() int {
+	// Inverse CDF: F(k) = log(k+1)/log(n+1)  =>  k = floor(exp(u*log(n+1))) - 1.
+	k := int(math.Exp(l.r.Float64()*l.logN1)) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= l.n {
+		k = l.n - 1
+	}
+	return k
+}
+
+// Prob returns the probability of drawing k under the log-uniform
+// distribution. Sampled softmax needs this for its correction term
+// (subtracting log Q(k) from the sampled logits).
+func (l *LogUniform) Prob(k int) float64 {
+	return math.Log(float64(k+2)/float64(k+1)) / l.logN1
+}

@@ -1,0 +1,166 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"zipflm/internal/rng"
+)
+
+func TestAliasTableMatchesDistribution(t *testing.T) {
+	weights := []float64{5, 1, 3, 0, 1}
+	tab := NewAliasTable(weights, rng.New(1))
+	const draws = 500_000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tab.Next()]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for k, w := range weights {
+		want := w / sum * draws
+		got := float64(counts[k])
+		if w == 0 {
+			if got != 0 {
+				t.Errorf("zero-weight index %d drawn %v times", k, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("index %d: %v draws, want ~%v", k, got, want)
+		}
+	}
+}
+
+func TestAliasProbsSumToOne(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		all0 := true
+		for i, v := range raw {
+			w[i] = float64(v)
+			if v != 0 {
+				all0 = false
+			}
+		}
+		if all0 {
+			return true
+		}
+		tab := NewAliasTable(w, rng.New(2))
+		var sum float64
+		for k := range w {
+			sum += tab.Prob(k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfAliasHeadHeavy(t *testing.T) {
+	tab := NewZipfAliasTable(1000, 1.0, rng.New(3))
+	if tab.Prob(0) <= tab.Prob(10) {
+		t.Error("Zipf alias table not head-heavy")
+	}
+	// Prob(0)/Prob(1) = 2 for s=1.
+	if r := tab.Prob(0) / tab.Prob(1); math.Abs(r-2) > 1e-9 {
+		t.Errorf("rank-0/rank-1 ratio = %v, want 2", r)
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAliasTable(nil, rng.New(1)) },
+		func() { NewAliasTable([]float64{0, 0}, rng.New(1)) },
+		func() { NewAliasTable([]float64{1, -1}, rng.New(1)) },
+		func() { NewZipfAliasTable(0, 1, rng.New(1)) },
+		func() { NewUnigramSampler(0, nil, 1) },
+		func() { NewUnigramSampler(3, []float64{1}, 1) },
+		func() { NewUnigramSampler(3, nil, 1).Sample(-1, nil) },
+		func() { NewUnigramSampler(3, nil, 1).Sample(1, []int{3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUnigramSamplerIncludesTargets(t *testing.T) {
+	s := NewUnigramSampler(100, nil, 4)
+	set := s.Sample(20, []int{7, 7, 93})
+	if set[0] != 7 || set[1] != 93 {
+		t.Errorf("targets not first: %v", set[:3])
+	}
+	seen := map[int]bool{}
+	for _, w := range set {
+		if w < 0 || w >= 100 || seen[w] {
+			t.Fatalf("bad candidate set: %v", set)
+		}
+		seen[w] = true
+	}
+}
+
+func TestUnigramSamplerCustomFrequencies(t *testing.T) {
+	// All mass on ids 2 and 5: negatives can only be those.
+	freq := make([]float64, 10)
+	freq[2], freq[5] = 3, 1
+	s := NewUnigramSampler(10, freq, 5)
+	set := s.Sample(50, nil)
+	for _, w := range set {
+		if w != 2 && w != 5 {
+			t.Fatalf("drew id %d with zero frequency", w)
+		}
+	}
+}
+
+func TestUnigramLogExpectedCount(t *testing.T) {
+	s := NewUnigramSampler(50, nil, 6)
+	// Head word has the largest correction.
+	if s.LogExpectedCount(10, 0) <= s.LogExpectedCount(10, 40) {
+		t.Error("correction must decrease with rank")
+	}
+}
+
+// TestUnigramVsLogUniformHead: the exact unigram sampler must put *more*
+// relative mass on mid-rank words than log-uniform at the same vocabulary
+// (log-uniform over-weights the extreme head), which is its practical
+// advantage for sampled softmax.
+func TestUnigramVsLogUniformAgreeOnOrder(t *testing.T) {
+	const vocab = 1000
+	uni := NewUnigramSampler(vocab, nil, 7)
+	lu := NewSampler(vocab, 7)
+	uSet := uni.Sample(200, nil)
+	lSet := lu.Sample(200, nil)
+	// Both samplers produce valid, duplicate-free candidate sets whose
+	// heads skew to low ranks.
+	for _, set := range [][]int{uSet, lSet} {
+		low := 0
+		for _, w := range set {
+			if w < vocab/10 {
+				low++
+			}
+		}
+		if low < len(set)/4 {
+			t.Errorf("sampler not head-skewed: %d/%d in the first decile", low, len(set))
+		}
+	}
+}
+
+func BenchmarkAliasNext(b *testing.B) {
+	tab := NewZipfAliasTable(100_000, 1.0, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Next()
+	}
+}

@@ -1,0 +1,240 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumSeedsBounds(t *testing.T) {
+	for _, s := range append(Strategies(), AllSame) {
+		for _, g := range []int{1, 2, 6, 8, 16, 64, 192} {
+			n := s.NumSeeds(g)
+			if n < 1 || n > g {
+				t.Errorf("%v at G=%d: NumSeeds=%d outside [1,%d]", s, g, n, g)
+			}
+		}
+	}
+}
+
+func TestNumSeedsKnownValues(t *testing.T) {
+	cases := []struct {
+		s    Strategy
+		g    int
+		want int
+	}{
+		{AllDifferent, 64, 64},
+		{AllSame, 64, 1},
+		{Log2G, 64, 6},
+		{LogEG, 64, 5},     // ceil(ln 64) = ceil(4.16)
+		{Log10G, 64, 2},    // ceil(log10 64) = ceil(1.8)
+		{ZipfFreq, 64, 15}, // ceil(64^0.64) = ceil(14.3)
+		{AllDifferent, 1, 1},
+		{Log10G, 1, 1}, // clamped to 1
+	}
+	for _, c := range cases {
+		if got := c.s.NumSeeds(c.g); got != c.want {
+			t.Errorf("%v.NumSeeds(%d) = %d, want %d", c.s, c.g, got, c.want)
+		}
+	}
+}
+
+// TestSeedOrdering: the number of seeds must be ordered
+// AllSame ≤ Log10G ≤ LogEG ≤ Log2G ≤ ZipfFreq ≤ AllDifferent for large G,
+// mirroring the accuracy/scalability spectrum of Figure 7.
+func TestSeedOrdering(t *testing.T) {
+	for _, g := range []int{16, 64, 192} {
+		order := []Strategy{AllSame, Log10G, LogEG, Log2G, ZipfFreq, AllDifferent}
+		prev := 0
+		for _, s := range order {
+			n := s.NumSeeds(g)
+			if n < prev {
+				t.Errorf("G=%d: %v has %d seeds, fewer than predecessor's %d", g, s, n, prev)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestAssignSharing(t *testing.T) {
+	const g = 8
+	seeds := Assign(Log2G, g, 42) // 3 distinct seeds
+	if len(seeds) != g {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	distinct := map[uint64]bool{}
+	for _, s := range seeds {
+		distinct[s] = true
+	}
+	if len(distinct) != Log2G.NumSeeds(g) {
+		t.Errorf("distinct seeds = %d, want %d", len(distinct), Log2G.NumSeeds(g))
+	}
+	// Round-robin sharing: ranks r and r+n share.
+	n := Log2G.NumSeeds(g)
+	for r := 0; r+n < g; r++ {
+		if seeds[r] != seeds[r+n] {
+			t.Errorf("ranks %d and %d should share a seed", r, r+n)
+		}
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	a := Assign(ZipfFreq, 16, 7)
+	b := Assign(ZipfFreq, 16, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+	c := Assign(ZipfFreq, 16, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different base seeds produced identical assignment")
+	}
+}
+
+func TestSamplerIncludesTargets(t *testing.T) {
+	s := NewSampler(1000, 1)
+	targets := []int{5, 700, 5, 31}
+	set := s.Sample(50, targets)
+	want := map[int]bool{5: true, 700: true, 31: true}
+	for _, w := range set[:3] {
+		if !want[w] {
+			t.Errorf("targets not leading the candidate set: %v", set[:5])
+		}
+		delete(want, w)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing targets: %v", want)
+	}
+}
+
+func TestSamplerNoDuplicates(t *testing.T) {
+	s := NewSampler(100, 2)
+	set := s.Sample(80, []int{1, 2, 3})
+	seen := map[int]bool{}
+	for _, w := range set {
+		if seen[w] {
+			t.Fatalf("duplicate candidate %d", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestSamplerRangeAndPanics(t *testing.T) {
+	s := NewSampler(50, 3)
+	for _, w := range s.Sample(200, nil) {
+		if w < 0 || w >= 50 {
+			t.Fatalf("candidate %d out of range", w)
+		}
+	}
+	for _, f := range []func(){
+		func() { NewSampler(0, 1) },
+		func() { s.Sample(-1, nil) },
+		func() { s.Sample(1, []int{50}) },
+		func() { AllDifferent.NumSeeds(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSamplerDeterministicPerSeed(t *testing.T) {
+	a := NewSampler(1000, 9).Sample(20, nil)
+	b := NewSampler(1000, 9).Sample(20, nil)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different draws")
+		}
+	}
+}
+
+// TestSharedSeedsCollapseUnique is the mechanism §III-B relies on: ranks
+// sharing a seed contribute no new unique candidates.
+func TestSharedSeedsCollapseUnique(t *testing.T) {
+	const g, nSamples, vocab = 16, 64, 100000
+	uniqueFor := func(strategy Strategy) int {
+		seeds := Assign(strategy, g, 11)
+		sets := make([][]int, g)
+		for r := 0; r < g; r++ {
+			sets[r] = NewSampler(vocab, seeds[r]).Sample(nSamples, nil)
+		}
+		return UniqueAcross(sets)
+	}
+	same := uniqueFor(AllSame)
+	zipf := uniqueFor(ZipfFreq)
+	diff := uniqueFor(AllDifferent)
+	if !(same < zipf && zipf < diff) {
+		t.Errorf("unique counts not ordered: same=%d zipf=%d diff=%d", same, zipf, diff)
+	}
+	if same > nSamples {
+		t.Errorf("AllSame unique=%d must be ≤ %d", same, nSamples)
+	}
+	// AllDifferent must be near G·S (minus birthday collisions).
+	if diff < nSamples*g/2 {
+		t.Errorf("AllDifferent unique=%d far below G·S=%d", diff, nSamples*g)
+	}
+	// ZipfFreq must be near NumSeeds·S.
+	wantZipf := ZipfFreq.NumSeeds(g) * nSamples
+	if zipf > wantZipf {
+		t.Errorf("ZipfFreq unique=%d above seeds·S=%d", zipf, wantZipf)
+	}
+}
+
+func TestLogExpectedCount(t *testing.T) {
+	s := NewSampler(1000, 1)
+	// Q is decreasing in rank, so the correction is too.
+	if s.LogExpectedCount(100, 0) <= s.LogExpectedCount(100, 500) {
+		t.Error("log expected count must decrease with rank")
+	}
+	// exp of the correction for n draws of the head word ≈ n·Q(0).
+	got := math.Exp(s.LogExpectedCount(100, 0))
+	wantQ := math.Log(2) / math.Log(1001)
+	if math.Abs(got-100*wantQ) > 1e-9 {
+		t.Errorf("expected count = %v, want %v", got, 100*wantQ)
+	}
+}
+
+func TestUniqueAcross(t *testing.T) {
+	if got := UniqueAcross([][]int{{1, 2}, {2, 3}, {}}); got != 3 {
+		t.Errorf("UniqueAcross = %d, want 3", got)
+	}
+	if got := UniqueAcross(nil); got != 0 {
+		t.Errorf("UniqueAcross(nil) = %d", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if AllDifferent.String() != "G" || ZipfFreq.String() != "Zipf's-freq" {
+		t.Error("Figure 7 labels wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy must still format")
+	}
+}
+
+// TestNumSeedsMonotoneInG: more ranks never means fewer seeds.
+func TestNumSeedsMonotoneInG(t *testing.T) {
+	f := func(gRaw uint8, sRaw uint8) bool {
+		g := int(gRaw)%190 + 2
+		s := Strategies()[int(sRaw)%len(Strategies())]
+		return s.NumSeeds(g+1) >= s.NumSeeds(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package tensor provides the dense float32 linear-algebra kernels the
+// language-model layers are built on: row-major matrices, matmul with
+// optional transposes, row gather/scatter-add (the embedding forward and
+// backward primitives of §II-A), and the elementwise activations LSTM and
+// RHN cells need.
+//
+// Everything is plain Go over flat slices — no assembly, no external BLAS —
+// because the module must build offline from the standard library alone.
+// The kernels are written cache-friendly (ikj matmul loop order, row-major
+// contiguous access) which is enough for the laptop-scale training runs the
+// reproduction performs.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"zipflm/internal/rng"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values; element (r, c) is Data[r*Cols+c].
+	Data []float32
+}
+
+// NewMatrix returns a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewMatrixFrom wraps an existing slice as a matrix. The slice is used
+// directly (not copied); len(data) must equal rows*cols.
+func NewMatrixFrom(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d x %d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// RandomizeNormal fills the matrix with N(0, std) values from r.
+func (m *Matrix) RandomizeNormal(r *rng.RNG, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64() * std)
+	}
+}
+
+// RandomizeUniform fills the matrix with U(-bound, bound) values.
+func (m *Matrix) RandomizeUniform(r *rng.RNG, bound float64) {
+	for i := range m.Data {
+		m.Data[i] = float32((2*r.Float64() - 1) * bound)
+	}
+}
+
+// MatMul computes dst = a @ b. Shapes: a is m x k, b is k x n, dst is m x n.
+// dst must not alias a or b. The kernel uses ikj order so the inner loop
+// streams both b and dst rows sequentially.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := ar[k]
+			if aik == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range br {
+				dr[j] += aik * br[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ @ b. Shapes: a is k x m, b is k x n,
+// dst is m x n. Used by backward passes (weight gradients).
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch (%dx%d)T@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, aki := range ar {
+			if aki == 0 {
+				continue
+			}
+			dr := dst.Row(i)
+			for j := range br {
+				dr[j] += aki * br[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a @ bᵀ. Shapes: a is m x k, b is n x k,
+// dst is m x n. Used by backward passes (input gradients) and by the
+// output-embedding logits (hidden @ embeddingᵀ).
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch (%dx%d)@(%dx%d)T->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var sum float32
+			for k := range ar {
+				sum += ar[k] * br[k]
+			}
+			dr[j] = sum
+		}
+	}
+}
+
+// AddInPlace computes dst += src elementwise.
+func AddInPlace(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: AddInPlace length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Axpy computes dst += alpha * src.
+func Axpy(alpha float32, dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func Scale(x []float32, alpha float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var sum float32
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// L2Norm returns the Euclidean norm of x (accumulated in float64 for
+// stability).
+func L2Norm(x []float32) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += float64(v) * float64(v)
+	}
+	return math.Sqrt(sum)
+}
+
+// GatherRows copies src rows indexed by idx into dst: dst.Row(i) =
+// src.Row(idx[i]). This is the embedding lookup of §II-A (the K x D dense
+// activation matrix built from the |V| x D embedding matrix).
+func GatherRows(dst, src *Matrix, idx []int) {
+	if dst.Cols != src.Cols || dst.Rows != len(idx) {
+		panic("tensor: GatherRows shape mismatch")
+	}
+	for i, j := range idx {
+		copy(dst.Row(i), src.Row(j))
+	}
+}
+
+// ScatterAddRows accumulates src rows into dst rows selected by idx:
+// dst.Row(idx[i]) += src.Row(i). This is the embedding gradient update of
+// §II-A — multiple tokens of the same word accumulate into one row, which is
+// exactly the operation the paper's uniqueness technique reorganizes.
+func ScatterAddRows(dst, src *Matrix, idx []int) {
+	if dst.Cols != src.Cols || src.Rows != len(idx) {
+		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for i, j := range idx {
+		AddInPlace(dst.Row(j), src.Row(i))
+	}
+}
+
+// Sigmoid computes 1/(1+e^-x) elementwise into dst.
+func Sigmoid(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Sigmoid length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// Tanh computes tanh elementwise into dst.
+func Tanh(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Tanh length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// SoftmaxRow normalizes a single logit vector into a probability
+// distribution in place, using the max-subtraction trick for stability.
+func SoftmaxRow(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	maxV := x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - maxV))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// LogSumExpRow returns log(sum(exp(x))) computed stably.
+func LogSumExpRow(x []float32) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	maxV := x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(float64(v - maxV))
+	}
+	return float64(maxV) + math.Log(sum)
+}
+
+// ClipL2 rescales x in place so its L2 norm does not exceed maxNorm, and
+// returns the pre-clip norm. Gradient clipping keeps the scaled-down RNN
+// training runs stable.
+func ClipL2(x []float32, maxNorm float64) float64 {
+	n := L2Norm(x)
+	if n > maxNorm && n > 0 {
+		Scale(x, float32(maxNorm/n))
+	}
+	return n
+}

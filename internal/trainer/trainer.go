@@ -1,0 +1,456 @@
+// Package trainer runs synchronous data-parallel language-model training
+// over the simulated cluster, wiring together every substrate exactly the
+// way §II-B describes the production workflow:
+//
+//   - each rank (goroutine) owns a full model replica and a private shard
+//     of the training stream;
+//   - dense RNN/projection gradients synchronize with a ring ALLREDUCE;
+//   - input-embedding gradients go through a pluggable core.Exchanger —
+//     the baseline ALLGATHER or the paper's unique exchange;
+//   - output-embedding gradients do the same under sampled softmax, with
+//     the per-rank sampler seeds assigned by a §III-B seeding strategy;
+//     under full softmax (char LM) they ALLREDUCE like dense parameters;
+//   - FP16 wire compression (§III-C) applies to all gradient payloads when
+//     configured.
+//
+// Replicas start identical and receive identical global updates each step,
+// so they stay bit-identical — the invariant §II-B states ("the model
+// parameters on all GPUs are the same during the next training step"),
+// which the tests assert.
+package trainer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"zipflm/internal/cluster"
+	"zipflm/internal/collective"
+	"zipflm/internal/core"
+	"zipflm/internal/half"
+	"zipflm/internal/metrics"
+	"zipflm/internal/model"
+	"zipflm/internal/optim"
+	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
+)
+
+// Config assembles one distributed training run.
+type Config struct {
+	// Model is the per-replica architecture.
+	Model model.Config
+	// Ranks is G, the simulated GPU count.
+	Ranks int
+	// BatchPerRank is sequences per rank per step (paper: 32 word LM,
+	// 128 char LM).
+	BatchPerRank int
+	// SeqLen is tokens per sequence (paper: 20 word LM, 150 char LM).
+	SeqLen int
+	// LR is the epoch-0 learning rate for this run (experiments apply the
+	// optim.Schedule cluster-size scaling before constructing the
+	// trainer).
+	LR float64
+	// LRDecay multiplies the rate each epoch (§IV-B: "decay factor
+	// ranging from 0.85 to 0.95"); 0 or 1 disables decay.
+	LRDecay float64
+	// Exchange is the embedding-gradient engine (§III-A).
+	Exchange core.Exchanger
+	// Wire, when non-nil, compresses gradient payloads to FP16 (§III-C).
+	Wire *half.Scaler
+	// SeedStrategy controls sampled-softmax seed sharing (§III-B).
+	SeedStrategy sampling.Strategy
+	// NewOptimizer builds one dense-parameter optimizer per rank (stateful
+	// optimizers like Adam must not share state across replicas); nil
+	// means SGD.
+	NewOptimizer func() optim.Optimizer
+	// NewSampler builds the sampled-softmax candidate source for a given
+	// seed; nil means the paper's log-uniform sampler. The exact-unigram
+	// alias sampler is the main alternative
+	// (sampling.NewUnigramSampler).
+	NewSampler func(vocab int, seed uint64) sampling.CandidateSampler
+	// BaseSeed makes the whole run reproducible.
+	BaseSeed uint64
+	// DeviceCapacity bounds per-rank memory (0 = unlimited).
+	DeviceCapacity int64
+	// ClipNorm, when > 0, clips each dense gradient tensor's L2 norm.
+	ClipNorm float64
+}
+
+// EvalPoint is one validation measurement.
+type EvalPoint struct {
+	// Epoch is the (possibly fractional) epoch position.
+	Epoch float64
+	// Loss is mean validation cross-entropy (nats).
+	Loss float64
+	// Perplexity is exp(Loss).
+	Perplexity float64
+}
+
+// StepStats aggregates per-step exchange measurements across the run.
+type StepStats struct {
+	// Steps executed.
+	Steps int
+	// InputUniqueGlobal / OutputUniqueGlobal accumulate U_g sums for
+	// averaging.
+	InputUniqueGlobal  int64
+	OutputUniqueGlobal int64
+	// WireBytesPerRank is the max-over-ranks total collective traffic.
+	WireBytesPerRank int64
+	// PeakMemory is the max-over-ranks device peak (exchange scratch).
+	PeakMemory int64
+	// ComputeTime / SyncTime split the run's wall-clock between the
+	// forward/backward phase and the synchronization phase — the same
+	// decomposition perfmodel applies to the paper's hardware.
+	ComputeTime time.Duration
+	SyncTime    time.Duration
+}
+
+// AvgInputUnique returns the mean per-step global unique word count seen by
+// the input-embedding exchange.
+func (s StepStats) AvgInputUnique() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.InputUniqueGlobal) / float64(s.Steps)
+}
+
+// AvgOutputUnique is the sampled-softmax counterpart.
+func (s StepStats) AvgOutputUnique() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.OutputUniqueGlobal) / float64(s.Steps)
+}
+
+// Result is what a training run returns.
+type Result struct {
+	// Evals are the validation points, in order.
+	Evals []EvalPoint
+	// Stats aggregates exchange costs.
+	Stats StepStats
+	// FinalLoss is the last validation loss.
+	FinalLoss float64
+}
+
+// Trainer owns the replicas and shards.
+type Trainer struct {
+	cfg    Config
+	clu    *cluster.Cluster
+	comm   *collective.Comm
+	models []*model.LM
+	opts   []optim.Optimizer
+	shards [][]int
+	valid  []int
+}
+
+// New builds a trainer over the given train/validation token streams. The
+// training stream is sharded contiguously across ranks.
+func New(cfg Config, train, valid []int) (*Trainer, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("trainer: need at least one rank")
+	}
+	if cfg.BatchPerRank <= 0 || cfg.SeqLen <= 0 {
+		return nil, fmt.Errorf("trainer: BatchPerRank and SeqLen must be positive")
+	}
+	if cfg.Exchange == nil {
+		cfg.Exchange = core.UniqueExchange{}
+	}
+	if cfg.NewOptimizer == nil {
+		cfg.NewOptimizer = func() optim.Optimizer { return optim.SGD{} }
+	}
+	perRank := len(train) / cfg.Ranks
+	need := cfg.BatchPerRank*cfg.SeqLen + 1
+	if cfg.Model.Stateful {
+		// Each of the B contiguous lanes needs more than one window.
+		need = cfg.BatchPerRank * (cfg.SeqLen + 2)
+	}
+	if perRank < need {
+		return nil, fmt.Errorf("trainer: shard of %d tokens below one batch (%d)", perRank, need)
+	}
+	t := &Trainer{
+		cfg:   cfg,
+		clu:   cluster.New(cfg.Ranks, cfg.DeviceCapacity),
+		comm:  collective.New(cfg.Ranks),
+		valid: valid,
+	}
+	// Identical replicas: build rank 0, copy into the rest.
+	t.models = make([]*model.LM, cfg.Ranks)
+	t.opts = make([]optim.Optimizer, cfg.Ranks)
+	mc := cfg.Model
+	mc.Seed = cfg.BaseSeed
+	for r := 0; r < cfg.Ranks; r++ {
+		t.models[r] = model.NewLM(mc)
+		if r > 0 {
+			t.models[r].CopyWeightsFrom(t.models[0])
+		}
+		t.opts[r] = cfg.NewOptimizer()
+	}
+	t.shards = make([][]int, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		t.shards[r] = train[r*perRank : (r+1)*perRank]
+	}
+	return t, nil
+}
+
+// batchAt slices one (T×B) batch out of a shard at the given step index.
+// In stateless mode sequence b of step s starts at an arbitrary wrapped
+// offset; in stateful mode the shard is divided into B contiguous lanes and
+// consecutive steps read consecutive windows of each lane, so the carried
+// RNN state always continues the text it left off (standard truncated-BPTT
+// feeding).
+func (t *Trainer) batchAt(shard []int, step int) (inputs, targets [][]int) {
+	b := t.cfg.BatchPerRank
+	s := t.cfg.SeqLen
+	usable := len(shard) - 1
+	inputs = make([][]int, s)
+	targets = make([][]int, s)
+	for st := 0; st < s; st++ {
+		inputs[st] = make([]int, b)
+		targets[st] = make([]int, b)
+	}
+	if t.cfg.Model.Stateful {
+		laneLen := usable / b
+		for seq := 0; seq < b; seq++ {
+			base := seq * laneLen
+			off := base + (step*s)%(laneLen-s)
+			for st := 0; st < s; st++ {
+				inputs[st][seq] = shard[off+st]
+				targets[st][seq] = shard[off+st+1]
+			}
+		}
+		return inputs, targets
+	}
+	span := b * s
+	for seq := 0; seq < b; seq++ {
+		off := (step*span + seq*s) % (usable - s)
+		for st := 0; st < s; st++ {
+			inputs[st][seq] = shard[off+st]
+			targets[st][seq] = shard[off+st+1]
+		}
+	}
+	return inputs, targets
+}
+
+// StepsPerEpoch returns how many steps one pass over the training shards
+// takes.
+func (t *Trainer) StepsPerEpoch() int {
+	span := t.cfg.BatchPerRank * t.cfg.SeqLen
+	n := (len(t.shards[0]) - 1) / span
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Model returns rank r's replica (replicas are identical between steps).
+func (t *Trainer) Model(r int) *model.LM { return t.models[r] }
+
+// Comm exposes the communicator for traffic inspection.
+func (t *Trainer) Comm() *collective.Comm { return t.comm }
+
+// Cluster exposes the device accountants.
+func (t *Trainer) Cluster() *cluster.Cluster { return t.clu }
+
+// Run trains for the given number of epochs, validating evalsPerEpoch times
+// per epoch (at least once, at each epoch end). It returns the evaluation
+// trace and aggregated exchange statistics.
+func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
+	if evalsPerEpoch < 1 {
+		evalsPerEpoch = 1
+	}
+	stepsPerEpoch := t.StepsPerEpoch()
+	evalEvery := stepsPerEpoch / evalsPerEpoch
+	if evalEvery < 1 {
+		evalEvery = 1
+	}
+	res := Result{}
+	seeds := sampling.Assign(t.cfg.SeedStrategy, t.cfg.Ranks, t.cfg.BaseSeed+1)
+
+	totalSteps := epochs * stepsPerEpoch
+	lastEval := -evalEvery
+	lr := t.cfg.LR
+	for step := 0; step < totalSteps; step++ {
+		if step > 0 && step%stepsPerEpoch == 0 && t.cfg.LRDecay > 0 && t.cfg.LRDecay != 1 {
+			lr *= t.cfg.LRDecay
+		}
+		if t.cfg.Model.Stateful && step%stepsPerEpoch == 0 {
+			// Epoch boundary: the lanes jump back to their starts, so
+			// the carried state no longer matches the text.
+			for _, m := range t.models {
+				m.ResetRNNState()
+			}
+		}
+		stats, err := t.trainStep(step, lr, seeds)
+		if err != nil {
+			return res, err
+		}
+		res.Stats.Steps++
+		res.Stats.InputUniqueGlobal += int64(stats.inUnique)
+		res.Stats.OutputUniqueGlobal += int64(stats.outUnique)
+		res.Stats.ComputeTime += stats.computeTime
+		res.Stats.SyncTime += stats.syncTime
+
+		// Validate on the periodic schedule, plus once at the very end
+		// unless a periodic eval just happened.
+		if (step+1)%evalEvery == 0 || (step == totalSteps-1 && step-lastEval >= evalEvery/2) {
+			lastEval = step
+			loss := t.Validate()
+			ep := EvalPoint{
+				Epoch:      float64(step+1) / float64(stepsPerEpoch),
+				Loss:       loss,
+				Perplexity: metrics.Perplexity(loss),
+			}
+			res.Evals = append(res.Evals, ep)
+			res.FinalLoss = loss
+		}
+	}
+	res.Stats.WireBytesPerRank = t.comm.MaxStats().Total()
+	res.Stats.PeakMemory = t.clu.MaxPeak()
+	return res, nil
+}
+
+type stepStats struct {
+	inUnique, outUnique   int
+	computeTime, syncTime time.Duration
+}
+
+// trainStep executes one synchronous step across all ranks.
+func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats, error) {
+	g := t.cfg.Ranks
+	results := make([]model.StepResult, g)
+	samplers := make([]sampling.CandidateSampler, g)
+	var agg stepStats
+
+	// Phase 1 (parallel): forward/backward on every rank.
+	phaseStart := time.Now()
+	err := t.clu.Run(func(rank int, dev *cluster.Device) error {
+		m := t.models[rank]
+		m.ZeroGrads()
+		var sampler sampling.CandidateSampler
+		if t.cfg.Model.Sampled > 0 {
+			// Re-seed per step so ranks sharing a §III-B seed draw the
+			// same candidates every step while the stream still varies
+			// across steps.
+			stepSeed := seeds[rank] + uint64(step)*0x9e3779b9
+			if t.cfg.NewSampler != nil {
+				sampler = t.cfg.NewSampler(t.cfg.Model.Vocab, stepSeed)
+			} else {
+				sampler = sampling.NewSampler(t.cfg.Model.Vocab, stepSeed)
+			}
+		}
+		samplers[rank] = sampler
+		inputs, targets := t.batchAt(t.shards[rank], step)
+		results[rank] = m.ForwardBackward(inputs, targets, sampler)
+		return nil
+	})
+	if err != nil {
+		return agg, err
+	}
+	agg.computeTime = time.Since(phaseStart)
+	phaseStart = time.Now()
+
+	// Phase 2 (parallel): synchronize and update.
+	lr := float32(lrNow)
+	invG := float32(1.0 / float64(g))
+	errs := make([]error, g)
+	inStats := make([]core.Stats, g)
+	outStats := make([]core.Stats, g)
+	_ = t.clu.Run(func(rank int, dev *cluster.Device) error {
+		m := t.models[rank]
+		ctx := &core.Ctx{Rank: rank, Comm: t.comm, Dev: dev, Wire: t.cfg.Wire}
+
+		// Dense gradients: ring all-reduce then average.
+		for _, p := range m.DenseParams() {
+			t.comm.AllReduce(rank, p.Grad, t.cfg.Wire)
+			tensor.Scale(p.Grad, invG)
+			if t.cfg.ClipNorm > 0 {
+				tensor.ClipL2(p.Grad, t.cfg.ClipNorm)
+			}
+		}
+
+		// Input embedding: the §III exchange.
+		upd, st, err := t.cfg.Exchange.Exchange(ctx, results[rank].InputGrad)
+		if err != nil {
+			errs[rank] = err
+			return nil
+		}
+		inStats[rank] = st
+		upd.Apply(m.InEmb, -lr*invG)
+
+		// Output embedding: sampled softmax goes through the exchange;
+		// full softmax all-reduces the dense gradient like an RNN param.
+		if t.cfg.Model.Sampled > 0 {
+			updOut, stOut, err := t.cfg.Exchange.Exchange(ctx, results[rank].OutputGrad)
+			if err != nil {
+				errs[rank] = err
+				return nil
+			}
+			outStats[rank] = stOut
+			updOut.Apply(m.OutEmb, -lr*invG)
+		} else {
+			t.comm.AllReduce(rank, results[rank].OutputGrad.Rows.Data, t.cfg.Wire)
+			tensor.Scale(results[rank].OutputGrad.Rows.Data, invG)
+			core.Update{Indices: results[rank].OutputGrad.Indices, Rows: results[rank].OutputGrad.Rows}.
+				Apply(m.OutEmb, -lr)
+		}
+		return nil
+	})
+	for _, e := range errs {
+		if e != nil {
+			return agg, e
+		}
+	}
+
+	// Dense optimizer step: every rank applies the identical averaged
+	// gradient through its own optimizer instance, keeping replicas (and
+	// any Adam state) bit-identical.
+	for rank := 0; rank < g; rank++ {
+		t.opts[rank].Step(t.models[rank].DenseParams(), lr)
+	}
+
+	agg.inUnique = inStats[0].UniqueGlobal
+	agg.outUnique = outStats[0].UniqueGlobal
+	agg.syncTime = time.Since(phaseStart)
+	return agg, nil
+}
+
+// Validate computes mean validation loss (nats) on rank 0's replica.
+func (t *Trainer) Validate() float64 {
+	if len(t.valid) < 2 {
+		return math.NaN()
+	}
+	lossSum, count := t.models[0].EvalLoss(t.valid, t.cfg.SeqLen)
+	if count == 0 {
+		return math.NaN()
+	}
+	return lossSum / float64(count)
+}
+
+// ReplicasInSync verifies every replica's parameters match rank 0 exactly —
+// the §II-B synchronization invariant. Returns the first mismatch found.
+func (t *Trainer) ReplicasInSync() error {
+	ref := t.models[0]
+	for r := 1; r < t.cfg.Ranks; r++ {
+		m := t.models[r]
+		for i := range ref.InEmb.Data {
+			if m.InEmb.Data[i] != ref.InEmb.Data[i] {
+				return fmt.Errorf("trainer: rank %d input embedding diverged at %d", r, i)
+			}
+		}
+		for i := range ref.OutEmb.Data {
+			if m.OutEmb.Data[i] != ref.OutEmb.Data[i] {
+				return fmt.Errorf("trainer: rank %d output embedding diverged at %d", r, i)
+			}
+		}
+		refs := ref.DenseParams()
+		ps := m.DenseParams()
+		for pi := range refs {
+			for i := range refs[pi].Value {
+				if refs[pi].Value[i] != ps[pi].Value[i] {
+					return fmt.Errorf("trainer: rank %d %s diverged at %d", r, refs[pi].Name, i)
+				}
+			}
+		}
+	}
+	return nil
+}

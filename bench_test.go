@@ -13,9 +13,13 @@ import (
 
 	"zipflm/internal/collective"
 	"zipflm/internal/core"
+	"zipflm/internal/corpus"
 	"zipflm/internal/experiments"
+	"zipflm/internal/model"
 	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
 	"zipflm/internal/tensor"
+	"zipflm/internal/trainer"
 )
 
 // benchExperiment runs one experiment id per iteration.
@@ -143,3 +147,64 @@ func BenchmarkExchangeUnique8x256(b *testing.B) {
 
 // newComm is a local alias so the benches read naturally.
 func newComm(g int) *collective.Comm { return collective.New(g) }
+
+// --- Step benchmarks over the full training loop, in the regime the
+// --- paper's techniques target: communication and synchronization overhead
+// --- comparable to compute (small per-rank batch, non-trivial dense
+// --- parameter volume). BenchmarkStepSync8 vs BenchmarkStepOverlap8 is the
+// --- synchronous-vs-overlapped comparison; both run on the pooled
+// --- collective substrate.
+
+// benchStep times full training steps at the given rank count.
+func benchStep(b *testing.B, ranks int, overlap bool) {
+	b.Helper()
+	gen := corpus.NewGenerator(corpus.GeneratorConfig{
+		VocabSize:    999,
+		ZipfExponent: 1.1,
+		Seed:         42,
+	})
+	stream := gen.Stream(ranks*4000 + 1000)
+	train, valid := corpus.Split(stream, 50, 100, 42)
+	cfg := trainer.Config{
+		Model: model.Config{
+			Vocab: 1000, Dim: 64, Hidden: 256, RNN: model.KindLSTM, Sampled: 64,
+		},
+		Ranks:        ranks,
+		BatchPerRank: 1,
+		SeqLen:       4,
+		LR:           0.1,
+		Exchange:     core.UniqueExchange{},
+		SeedStrategy: sampling.ZipfFreq,
+		BaseSeed:     42,
+		Overlap:      overlap,
+	}
+	tr, err := trainer.New(cfg, train, valid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Steps(2); err != nil { // warm pools and caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := tr.Steps(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStepSync8 is one synchronous training step at G=8: backprop,
+// then per-tensor dense ring all-reduce, then the sparse exchange.
+func BenchmarkStepSync8(b *testing.B) { benchStep(b, 8, false) }
+
+// BenchmarkStepOverlap8 is the same step with the bucketed asynchronous
+// dense reduction overlapping backprop and the sparse exchange.
+func BenchmarkStepOverlap8(b *testing.B) { benchStep(b, 8, true) }
+
+// BenchmarkStepSync2 / BenchmarkStepOverlap2 pin the small-cluster end.
+func BenchmarkStepSync2(b *testing.B) { benchStep(b, 2, false) }
+
+// BenchmarkStepOverlap2 is the overlapped counterpart of BenchmarkStepSync2.
+func BenchmarkStepOverlap2(b *testing.B) { benchStep(b, 2, true) }
+
+// BenchmarkOverlapExperiment regenerates the overlap ablation table like
+// the other experiment benches.
+func BenchmarkOverlapExperiment(b *testing.B) { benchExperiment(b, "overlap") }

@@ -7,4 +7,38 @@
 // is exercised by the runnable programs in cmd/ and examples/, and
 // regenerates every table and figure of the paper's evaluation through
 // cmd/zipflm-bench and the benchmarks in bench_test.go.
+//
+// # Communication substrate: zero-copy rings, pooled buffers, overlap
+//
+// The simulated collectives (internal/collective) are engineered like the
+// production stacks the paper measures against:
+//
+//   - The ring all-reduce is zero-copy and allocation-free at steady state:
+//     each hop sends the chunk subslice itself over a channel, and a
+//     closing barrier keeps a rank from rewriting its buffer while a
+//     peer's in-flight hop still aliases it. Blackboard buffers for
+//     gathers and broadcasts come from a communicator-wide sync.Pool arena
+//     and are recycled across steps. testing.AllocsPerRun guards both
+//     paths against regression.
+//
+//   - Comm.AllReduceAsync adds a Horovod/DDP-style bucket queue: tensors
+//     submitted as backpropagation produces them coalesce into
+//     deterministic buckets (closed by cumulative size, a wire-precision
+//     change, or FlushAsync) and reduce on a dedicated channel set while
+//     the submitting rank keeps computing. Because buckets chunk each
+//     member tensor with exactly the synchronous bounds, reduced values
+//     and Stats byte accounting are bit-identical to per-tensor AllReduce
+//     calls — asserted by the tests.
+//
+//   - trainer.Config.Overlap threads the async path through the training
+//     step: a backward hook starts reducing a dense layer the moment that
+//     layer finishes backpropagating, and the sparse §III-A exchange then
+//     runs with the dense rings still in flight. Replicas stay
+//     bit-identical to the synchronous mode; only wall-clock changes.
+//     The exchange engines themselves reuse per-rank core.Workspace
+//     scratch (dedup maps, locally-reduced rows) across steps.
+//
+// The "overlap" experiment (zipflm-bench -exp overlap) and the
+// BenchmarkStep* benchmarks in bench_test.go measure what this buys per
+// training step.
 package zipflm

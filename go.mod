@@ -1,0 +1,3 @@
+module zipflm
+
+go 1.21

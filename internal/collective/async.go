@@ -1,0 +1,147 @@
+package collective
+
+import "zipflm/internal/half"
+
+// This file implements the bucketed, asynchronous all-reduce path
+// (Horovod/DDP-style): a rank submits gradient tensors as backpropagation
+// produces them, the communicator coalesces consecutive submissions into
+// buckets, and each bucket runs the same ring all-reduce as the synchronous
+// path — on a dedicated channel set — while the submitting goroutine keeps
+// computing. Pending.Wait synchronizes on an individual tensor.
+//
+// Correctness rests on two invariants:
+//
+//  1. Deterministic bucketing. A bucket closes only on facts every rank
+//     observes identically — cumulative submitted size crossing the bucket
+//     threshold, a change of wire scaler, or an explicit FlushAsync — never
+//     on timing. Since data-parallel ranks run the same program, all ranks
+//     therefore partition their submissions into identical bucket
+//     sequences, which is what lets bucket k on rank r ring-exchange with
+//     bucket k on the neighbouring ranks.
+//
+//  2. Ordered execution. A rank's buckets run strictly in submission order
+//     (each bucket's runner goroutine first waits for the previous
+//     bucket), and async hops travel on asyncRing, disjoint from the
+//     synchronous ring, so an in-flight bucket can overlap any synchronous
+//     collective without interleaving hops.
+//
+// Because the ring core chunks each member tensor independently
+// (ringAllReduce), the reduced values and the Stats byte accounting are
+// bit-identical to calling AllReduce on each tensor synchronously — the
+// equality the trainer's overlap tests assert.
+
+// DefaultBucketBytes is the bucket-close threshold when the caller does not
+// override it: small enough that a big layer starts reducing before the
+// whole backward pass ends, large enough to amortize ring latency over
+// many small tensors. Submitters that want layer-granular overlap (the
+// trainer's backward hook) additionally call FlushAsync at each layer
+// boundary rather than waiting for the threshold.
+const DefaultBucketBytes = 1 << 20
+
+// Pending is the completion handle of one asynchronously submitted tensor.
+// Every tensor in a bucket completes at the same instant, so handles of one
+// bucket share a single completion channel.
+type Pending struct {
+	done chan struct{}
+}
+
+// Wait blocks until the tensor's bucket has fully reduced; afterwards the
+// submitted slice holds the global sum on every rank.
+func (p *Pending) Wait() { <-p.done }
+
+// asyncQueue is the per-rank bucket accumulator. It is only ever touched
+// from the owning rank's goroutine chain (submissions and flushes for rank
+// r must be serialized by the caller, exactly like every other per-rank
+// collective call), so it needs no lock.
+type asyncQueue struct {
+	bucket [][]float32
+	elems  int
+	wire   *half.Scaler
+	// done is the current bucket's completion channel, created at its
+	// first submission and shared by all its Pending handles.
+	done chan struct{}
+	// prev is the completion signal of the most recently launched bucket;
+	// the next bucket's runner waits on it so a rank's buckets execute in
+	// submission order.
+	prev chan struct{}
+}
+
+// SetBucketBytes overrides the async bucket-close threshold (in bytes of
+// FP32 payload). All ranks share one value; callers must change it only
+// while no async operations are in flight. Values below one element
+// coalesce nothing (every submission becomes its own bucket).
+func (c *Comm) SetBucketBytes(n int64) {
+	if n < 4 {
+		n = 4
+	}
+	c.bucketElems = int(n / 4)
+}
+
+// AllReduceAsync enqueues x for a bucketed ring all-reduce and returns
+// immediately. The returned handle's Wait blocks until x holds the global
+// elementwise sum. Submissions from one rank must come from that rank's
+// goroutine (or be otherwise serialized), and every rank must submit the
+// same sequence of tensor lengths, wire scalers, and flushes — the same
+// matched-call discipline every synchronous collective already requires.
+//
+// Consecutive submissions coalesce into one ring pass until the cumulative
+// payload crosses the bucket threshold (SetBucketBytes), the wire scaler
+// changes, or FlushAsync is called. Byte accounting and reduced values are
+// bit-identical to synchronous per-tensor AllReduce calls.
+func (c *Comm) AllReduceAsync(rank int, x []float32, wire *half.Scaler) *Pending {
+	q := &c.async[rank]
+	if len(q.bucket) > 0 && q.wire != wire {
+		c.flushBucket(rank)
+	}
+	if len(q.bucket) == 0 {
+		q.done = make(chan struct{})
+	}
+	q.bucket = append(q.bucket, x)
+	q.elems += len(x)
+	q.wire = wire
+	p := &Pending{done: q.done}
+	if q.elems >= c.bucketElems {
+		c.flushBucket(rank)
+	}
+	return p
+}
+
+// FlushAsync closes rank's current bucket, if any, and starts it reducing.
+// It does not wait; use the Pending handles for completion. Every rank must
+// flush at the same point in its submission sequence.
+func (c *Comm) FlushAsync(rank int) { c.flushBucket(rank) }
+
+// flushBucket launches the rank's accumulated bucket on the async ring.
+func (c *Comm) flushBucket(rank int) {
+	q := &c.async[rank]
+	if len(q.bucket) == 0 {
+		return
+	}
+	parts := q.bucket
+	wire := q.wire
+	done := q.done
+	q.bucket = nil
+	q.done = nil
+	q.elems = 0
+	waitPrev := q.prev
+	q.prev = done
+
+	go func() {
+		if waitPrev != nil {
+			<-waitPrev
+		}
+		bytes := c.ringAllReduce(c.asyncRing, rank, parts, wire)
+		// Closing barrier over this bucket's runners on all ranks: until
+		// every rank's pass completes, peers still read aliases of this
+		// rank's tensors (zero-copy hops), so the Pending handles must
+		// not release earlier.
+		if c.g > 1 {
+			c.asyncBarrier.Wait()
+		}
+		c.mu.Lock()
+		c.asyncStats[rank].AllReduceCalls += int64(len(parts))
+		c.asyncStats[rank].AllReduceBytes += bytes
+		c.mu.Unlock()
+		close(done)
+	}()
+}

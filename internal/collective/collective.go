@@ -10,6 +10,15 @@
 // Per-rank traffic is therefore the real 2·(G−1)/G·bytes of the algorithm,
 // measured, not modeled.
 //
+// The ring path is zero-copy and zero-allocation: each hop sends the chunk
+// subslice itself over the channel (the ring's dependency chain guarantees
+// the sender never rewrites a chunk before its receiver has consumed it),
+// so there is no payload staging at all, guarded by testing.AllocsPerRun
+// in the tests. Blackboard stash buffers for the gather/broadcast paths
+// come from a communicator-wide sync.Pool arena and are recycled across
+// operations. See also AllReduceAsync (async.go) for the bucketed,
+// overlap-capable variant of the same ring.
+//
 // Gathers use a shared blackboard with two barriers; their per-rank traffic
 // is accounted with the standard ring-allgather volume (G−1)/G·G·bytes.
 //
@@ -31,17 +40,49 @@ import (
 type Comm struct {
 	g int
 
-	// ring[r] is the channel rank (r-1+g)%g uses to send to rank r.
-	ring []chan []float32
+	// ring[r] is the channel rank (r-1+g)%g uses to send to rank r for
+	// synchronous collectives. asyncRing is the same topology reserved for
+	// the bucketed AllReduceAsync path, so an in-flight async bucket can
+	// never interleave its hops with a synchronous ring operation. Hops
+	// carry chunk subslices directly (zero-copy; see ringAllReduce).
+	ring      []chan []float32
+	asyncRing []chan []float32
 
-	// blackboard for gather/broadcast style ops.
+	// buf / intBuf pool float32 and int blackboard stash buffers, recycled
+	// once their collective completes, which keeps the gather/broadcast
+	// paths allocation-free apart from the caller-owned result copies.
+	buf    sync.Pool
+	intBuf sync.Pool
+
+	// blackboard for gather/broadcast style ops. Entries are pooled
+	// buffers owned by the writing rank; a rank recycles its previous
+	// entry the next time it stashes (by then the prior collective's
+	// closing barrier guarantees no reader still holds it).
 	mu     sync.Mutex
-	intsBB [][]int
-	f32BB  [][]float32
+	intsBB []*[]int
+	f32BB  []*[]float32
 
-	barrier *Barrier
+	// barrier closes every synchronous collective; asyncBarrier closes
+	// every async bucket (bucket k on one rank pairs with bucket k on
+	// every other, since bucketing is deterministic). The closing barrier
+	// is what makes the zero-copy ring sound: a rank's chunks are aliased
+	// by in-flight messages until every rank's pass completes, so no
+	// operation returns — and no caller may rewrite its buffer — before
+	// then.
+	barrier      *Barrier
+	asyncBarrier *Barrier
 
-	stats []Stats // per-rank
+	// stats counts synchronous collectives; asyncStats counts
+	// AllReduceAsync buckets. They are kept apart so a phase can
+	// snapshot-difference its own synchronous traffic (the §III-A
+	// exchange cost) without racing against bucket runners that post at
+	// arbitrary times; RankStats/MaxStats report the merged totals.
+	stats      []Stats // per-rank
+	asyncStats []Stats // per-rank
+
+	// async bucket queues, one per rank (async.go).
+	async       []asyncQueue
+	bucketElems int
 }
 
 // Stats tallies traffic a single rank has sent, by operation.
@@ -85,15 +126,21 @@ func New(g int) *Comm {
 		panic("collective: need at least one rank")
 	}
 	c := &Comm{
-		g:       g,
-		ring:    make([]chan []float32, g),
-		intsBB:  make([][]int, g),
-		f32BB:   make([][]float32, g),
-		barrier: NewBarrier(g),
-		stats:   make([]Stats, g),
+		g:            g,
+		ring:         make([]chan []float32, g),
+		asyncRing:    make([]chan []float32, g),
+		intsBB:       make([]*[]int, g),
+		f32BB:        make([]*[]float32, g),
+		barrier:      NewBarrier(g),
+		asyncBarrier: NewBarrier(g),
+		stats:        make([]Stats, g),
+		asyncStats:   make([]Stats, g),
+		async:        make([]asyncQueue, g),
+		bucketElems:  DefaultBucketBytes / 4,
 	}
 	for i := range c.ring {
 		c.ring[i] = make(chan []float32, 1)
+		c.asyncRing[i] = make(chan []float32, 1)
 	}
 	return c
 }
@@ -101,8 +148,22 @@ func New(g int) *Comm {
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.g }
 
-// RankStats returns a copy of the traffic counters for one rank.
+// RankStats returns a copy of the traffic counters for one rank,
+// synchronous and asynchronous traffic merged.
 func (c *Comm) RankStats(rank int) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats[rank]
+	s.Add(c.asyncStats[rank])
+	return s
+}
+
+// SyncStats returns one rank's counters for synchronous collectives only,
+// excluding AllReduceAsync buckets. Phase accounting (e.g. an exchange
+// engine differencing its own wire cost) uses this so concurrently
+// in-flight async buckets — which post their bytes at arbitrary times —
+// cannot leak into the window.
+func (c *Comm) SyncStats(rank int) Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats[rank]
@@ -114,7 +175,9 @@ func (c *Comm) MaxStats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var m Stats
-	for _, s := range c.stats {
+	for r := range c.stats {
+		s := c.stats[r]
+		s.Add(c.asyncStats[r])
 		if s.AllReduceBytes > m.AllReduceBytes {
 			m.AllReduceBytes = s.AllReduceBytes
 		}
@@ -137,30 +200,184 @@ func (c *Comm) MaxStats() Stats {
 	return m
 }
 
-func (c *Comm) addStats(rank int, f func(*Stats)) {
-	c.mu.Lock()
-	f(&c.stats[rank])
-	c.mu.Unlock()
-}
-
 // Barrier blocks until every rank has reached it.
 func (c *Comm) Barrier() { c.barrier.Wait() }
 
-// chunkBounds splits length n into c.g nearly equal contiguous chunks and
-// returns the boundary offsets (len c.g+1).
-func (c *Comm) chunkBounds(n int) []int {
-	bounds := make([]int, c.g+1)
-	base, rem := n/c.g, n%c.g
-	off := 0
-	for i := 0; i < c.g; i++ {
-		bounds[i] = off
-		off += base
-		if i < rem {
-			off++
+// getBuf checks a float32 buffer of length n out of the arena, allocating
+// only when the pool has nothing large enough (start-up, or a new high-water
+// payload size).
+func (c *Comm) getBuf(n int) *[]float32 {
+	if p, ok := c.buf.Get().(*[]float32); ok && p != nil {
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
 		}
 	}
-	bounds[c.g] = n
-	return bounds
+	s := make([]float32, n)
+	return &s
+}
+
+// putBuf returns a buffer to the arena.
+func (c *Comm) putBuf(p *[]float32) { c.buf.Put(p) }
+
+// getIntBuf / putIntBuf are the int-payload arena used by the index
+// blackboard.
+func (c *Comm) getIntBuf(n int) *[]int {
+	if p, ok := c.intBuf.Get().(*[]int); ok && p != nil {
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	s := make([]int, n)
+	return &s
+}
+
+func (c *Comm) putIntBuf(p *[]int) { c.intBuf.Put(p) }
+
+// stashInts publishes a copy of local as rank's blackboard entry, recycling
+// the rank's previous entry into the arena (safe: the previous collective's
+// closing barrier means no reader still holds it).
+func (c *Comm) stashInts(rank int, local []int) {
+	p := c.getIntBuf(len(local))
+	copy(*p, local)
+	c.mu.Lock()
+	if old := c.intsBB[rank]; old != nil {
+		c.putIntBuf(old)
+	}
+	c.intsBB[rank] = p
+	c.mu.Unlock()
+}
+
+// stashFloats is the float32 counterpart of stashInts; when wire is non-nil
+// the stashed copy is FP16 round-tripped (the payload crosses the wire once
+// in half precision).
+func (c *Comm) stashFloats(rank int, local []float32, wire *half.Scaler) {
+	p := c.getBuf(len(local))
+	copy(*p, local)
+	if wire != nil {
+		wire.RoundTrip(*p)
+	}
+	c.mu.Lock()
+	if old := c.f32BB[rank]; old != nil {
+		c.putBuf(old)
+	}
+	c.f32BB[rank] = p
+	c.mu.Unlock()
+}
+
+// chunkRange returns the [lo,hi) bounds of chunk i when n elements are split
+// into g nearly equal contiguous chunks (the first n%g chunks are one
+// element longer). Pure arithmetic — no allocation on the ring hot path.
+func chunkRange(n, g, i int) (lo, hi int) {
+	base, rem := n/g, n%g
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// addAllReduceStats records calls ring operations totalling bytes on rank.
+func (c *Comm) addAllReduceStats(rank int, calls, bytes int64) {
+	c.mu.Lock()
+	st := &c.stats[rank]
+	st.AllReduceCalls += calls
+	st.AllReduceBytes += bytes
+	c.mu.Unlock()
+}
+
+// ringAllReduce runs one ring all-reduce over the logical collection of
+// parts, on the given channel set. Each part is chunked independently with
+// the exact bounds the single-tensor path uses and each (hop, part) pair is
+// exchanged as its own message, so both the reduced values (addition order,
+// FP16 rounding points) and the byte accounting are bit-identical whether
+// tensors travel alone through AllReduce or fused in an AllReduceAsync
+// bucket. Returns the bytes this rank put on the wire.
+//
+// The exchange is zero-copy: hops send the chunk subslice itself, not a
+// buffer copy, so the ring path performs zero allocations and no payload
+// staging at all. Safety rests on the ring's own dependency chain: a chunk
+// a rank has sent is never written by that rank again until the incoming
+// message of a later hop — which transitively happens after the receiver
+// consumed the sent chunk — so sender-side mutations and receiver-side
+// reads can never overlap. (With FP16 the sender rounds its chunk in place
+// *before* sending; the unrounded partial sum is dead at that point —
+// every scatter-sent chunk is later overwritten wholesale by the
+// all-gather phase.)
+func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32, wire *half.Scaler) int64 {
+	g := c.g
+	if g == 1 {
+		return 0
+	}
+	next := (rank + 1) % g
+	var bytes int64
+
+	// Scatter-reduce: after step t, chunk (rank−t−1 mod G) holds t+2
+	// ranks' partial sums on this rank.
+	for step := 0; step < g-1; step++ {
+		sendIdx := ((rank-step)%g + g) % g
+		recvIdx := ((rank-step-1)%g + g) % g
+		for pi, p := range parts {
+			lo, hi := chunkRange(len(p), g, sendIdx)
+			seg := p[lo:hi]
+			if wire != nil {
+				// Round in place: this partial sum is forwarded now and
+				// overwritten by the all-gather phase later, so the
+				// unrounded value is dead.
+				wire.RoundTrip(seg)
+				bytes += int64(half.Bytes(hi - lo))
+			} else {
+				bytes += int64(4 * (hi - lo))
+			}
+			ring[next] <- seg
+			in := <-ring[rank]
+			qlo, qhi := chunkRange(len(parts[pi]), g, recvIdx)
+			dst := parts[pi][qlo:qhi]
+			if len(in) != len(dst) {
+				panic(fmt.Sprintf("collective: ring chunk mismatch %d != %d", len(in), len(dst)))
+			}
+			for i, v := range in {
+				dst[i] += v
+			}
+		}
+	}
+	// After scatter-reduce this rank owns the fully reduced chunk
+	// (rank+1) mod G. With FP16 on the wire every other rank receives a
+	// rounded copy; round the owner's copy identically so all ranks end
+	// bit-identical (FP16 round-tripping is idempotent, so the value
+	// survives later forwarding hops unchanged).
+	if wire != nil {
+		own := (rank + 1) % g
+		for _, p := range parts {
+			lo, hi := chunkRange(len(p), g, own)
+			wire.RoundTrip(p[lo:hi])
+		}
+	}
+	// All-gather: circulate the fully reduced chunks. Payloads are already
+	// FP16-rounded when wire is non-nil (rounding is idempotent), so no
+	// further rounding happens here.
+	for step := 0; step < g-1; step++ {
+		sendIdx := ((rank-step+1)%g + g) % g
+		recvIdx := ((rank-step)%g + g) % g
+		for pi, p := range parts {
+			lo, hi := chunkRange(len(p), g, sendIdx)
+			if wire != nil {
+				bytes += int64(half.Bytes(hi - lo))
+			} else {
+				bytes += int64(4 * (hi - lo))
+			}
+			ring[next] <- p[lo:hi]
+			in := <-ring[rank]
+			qlo, qhi := chunkRange(len(parts[pi]), g, recvIdx)
+			if len(in) != qhi-qlo {
+				panic(fmt.Sprintf("collective: ring chunk mismatch %d != %d", len(in), qhi-qlo))
+			}
+			copy(parts[pi][qlo:qhi], in)
+		}
+	}
+	return bytes
 }
 
 // AllReduce sums x elementwise across all ranks; on return every rank's x
@@ -169,93 +386,47 @@ func (c *Comm) chunkBounds(n int) []int {
 // pass equal-length slices.
 //
 // The implementation is a ring all-reduce: G−1 scatter-reduce steps then
-// G−1 all-gather steps, each moving one 1/G-sized chunk to the next rank.
+// G−1 all-gather steps, each moving one 1/G-sized chunk to the next rank —
+// zero-copy and zero-allocation. The closing barrier guarantees that on
+// return no peer still reads this rank's buffer, so the caller may mutate
+// x immediately.
 func (c *Comm) AllReduce(rank int, x []float32, wire *half.Scaler) {
-	if c.g == 1 {
-		c.addStats(rank, func(s *Stats) { s.AllReduceCalls++ })
-		return
+	var parts [1][]float32
+	parts[0] = x
+	bytes := c.ringAllReduce(c.ring, rank, parts[:], wire)
+	if c.g > 1 {
+		c.barrier.Wait()
 	}
-	bounds := c.chunkBounds(len(x))
-	chunk := func(i int) []float32 { return x[bounds[i]:bounds[i+1]] }
-	next := (rank + 1) % c.g
-
-	send := func(data []float32) {
-		payload := make([]float32, len(data))
-		copy(payload, data)
-		if wire != nil {
-			// Apply real FP16 rounding to the hop.
-			wire.RoundTrip(payload)
-			c.addStats(rank, func(s *Stats) { s.AllReduceBytes += int64(half.Bytes(len(payload))) })
-		} else {
-			c.addStats(rank, func(s *Stats) { s.AllReduceBytes += int64(4 * len(payload)) })
-		}
-		c.ring[next] <- payload
-	}
-	recv := func() []float32 { return <-c.ring[rank] }
-
-	// Scatter-reduce: after step t, chunk (rank−t−1 mod G) holds t+2
-	// ranks' partial sums on this rank.
-	for step := 0; step < c.g-1; step++ {
-		sendIdx := ((rank-step)%c.g + c.g) % c.g
-		recvIdx := ((rank-step-1)%c.g + c.g) % c.g
-		send(chunk(sendIdx))
-		incoming := recv()
-		dst := chunk(recvIdx)
-		if len(incoming) != len(dst) {
-			panic(fmt.Sprintf("collective: ring chunk mismatch %d != %d", len(incoming), len(dst)))
-		}
-		for i, v := range incoming {
-			dst[i] += v
-		}
-	}
-	// After scatter-reduce this rank owns the fully reduced chunk
-	// (rank+1) mod G. With FP16 on the wire the copy every other rank
-	// receives is rounded; round the owner's copy identically so all
-	// ranks end bit-identical (FP16 round-tripping is idempotent, so the
-	// value survives later forwarding hops unchanged).
-	if wire != nil {
-		wire.RoundTrip(chunk((rank + 1) % c.g))
-	}
-	// All-gather: circulate the fully reduced chunks.
-	for step := 0; step < c.g-1; step++ {
-		sendIdx := ((rank-step+1)%c.g + c.g) % c.g
-		recvIdx := ((rank-step)%c.g + c.g) % c.g
-		send(chunk(sendIdx))
-		incoming := recv()
-		copy(chunk(recvIdx), incoming)
-	}
-	c.addStats(rank, func(s *Stats) { s.AllReduceCalls++ })
+	c.addAllReduceStats(rank, 1, bytes)
 }
 
 // AllGatherInts gathers each rank's (possibly different-length) int slice;
 // every rank receives the per-rank slices in rank order. This is the cheap
 // Θ(G·K) index gather of §III-A step 3. The returned inner slices are
-// copies owned by the caller.
+// copies owned by the caller (the blackboard stash itself is pooled).
 func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
-	mine := make([]int, len(local))
-	copy(mine, local)
-	c.mu.Lock()
-	c.intsBB[rank] = mine
-	c.mu.Unlock()
+	c.stashInts(rank, local)
 	c.barrier.Wait()
 
 	out := make([][]int, c.g)
 	var totalElems int
 	c.mu.Lock()
 	for r, s := range c.intsBB {
-		cp := make([]int, len(s))
-		copy(cp, s)
+		var src []int
+		if s != nil {
+			src = *s
+		}
+		cp := make([]int, len(src))
+		copy(cp, src)
 		out[r] = cp
-		totalElems += len(s)
+		totalElems += len(src)
 	}
-	c.mu.Unlock()
 	// Ring all-gather volume per rank: (G−1)/G of the total payload,
 	// with indices on the wire as int32 (4 bytes) as real stacks do.
 	bytes := int64(4*totalElems) * int64(c.g-1) / int64(c.g)
-	c.addStats(rank, func(s *Stats) {
-		s.AllGatherCalls++
-		s.AllGatherBytes += bytes
-	})
+	c.stats[rank].AllGatherCalls++
+	c.stats[rank].AllGatherBytes += bytes
+	c.mu.Unlock()
 	c.barrier.Wait()
 	return out
 }
@@ -264,35 +435,30 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 // FP16 on the wire. This is the expensive baseline exchange of §II-B: the
 // result materializes G dense gradient blocks on every rank.
 func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][]float32 {
-	mine := make([]float32, len(local))
-	copy(mine, local)
-	if wire != nil {
-		wire.RoundTrip(mine) // payload crosses the wire once in FP16
-	}
-	c.mu.Lock()
-	c.f32BB[rank] = mine
-	c.mu.Unlock()
+	c.stashFloats(rank, local, wire)
 	c.barrier.Wait()
 
 	out := make([][]float32, c.g)
 	var totalElems int
 	c.mu.Lock()
 	for r, s := range c.f32BB {
-		cp := make([]float32, len(s))
-		copy(cp, s)
+		var src []float32
+		if s != nil {
+			src = *s
+		}
+		cp := make([]float32, len(src))
+		copy(cp, src)
 		out[r] = cp
-		totalElems += len(s)
+		totalElems += len(src)
 	}
-	c.mu.Unlock()
 	perElem := int64(4)
 	if wire != nil {
 		perElem = 2
 	}
 	bytes := perElem * int64(totalElems) * int64(c.g-1) / int64(c.g)
-	c.addStats(rank, func(s *Stats) {
-		s.AllGatherCalls++
-		s.AllGatherBytes += bytes
-	})
+	c.stats[rank].AllGatherCalls++
+	c.stats[rank].AllGatherBytes += bytes
+	c.mu.Unlock()
 	c.barrier.Wait()
 	return out
 }
@@ -301,15 +467,14 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][
 // which must have the root's length).
 func (c *Comm) Broadcast(rank, root int, x []float32) {
 	if rank == root {
-		mine := make([]float32, len(x))
-		copy(mine, x)
-		c.mu.Lock()
-		c.f32BB[root] = mine
-		c.mu.Unlock()
+		c.stashFloats(root, x, nil)
 	}
 	c.barrier.Wait()
 	c.mu.Lock()
-	src := c.f32BB[root]
+	var src []float32
+	if p := c.f32BB[root]; p != nil {
+		src = *p
+	}
 	c.mu.Unlock()
 	if len(src) != len(x) {
 		panic(fmt.Sprintf("collective: Broadcast length mismatch on rank %d: %d != %d", rank, len(x), len(src)))
@@ -317,14 +482,14 @@ func (c *Comm) Broadcast(rank, root int, x []float32) {
 	if rank != root {
 		copy(x, src)
 	}
-	c.addStats(rank, func(s *Stats) {
-		s.BroadcastCalls++
-		if rank == root {
-			// Tree broadcast: root sends ~1 copy per subtree; account
-			// the standard log-tree per-rank volume of one payload.
-			s.BroadcastBytes += int64(4 * len(x))
-		}
-	})
+	c.mu.Lock()
+	c.stats[rank].BroadcastCalls++
+	if rank == root {
+		// Tree broadcast: root sends ~1 copy per subtree; account
+		// the standard log-tree per-rank volume of one payload.
+		c.stats[rank].BroadcastBytes += int64(4 * len(x))
+	}
+	c.mu.Unlock()
 	c.barrier.Wait()
 }
 
@@ -334,18 +499,16 @@ func (c *Comm) Broadcast(rank, root int, x []float32) {
 // rank blocks in a data collective its peers abandoned. Control-plane
 // traffic is excluded from the data-plane byte accounting.
 func (c *Comm) AgreeAllOK(rank int, ok bool) bool {
-	v := 0
+	var vote [1]int
 	if ok {
-		v = 1
+		vote[0] = 1
 	}
-	c.mu.Lock()
-	c.intsBB[rank] = []int{v}
-	c.mu.Unlock()
+	c.stashInts(rank, vote[:])
 	c.barrier.Wait()
 	all := true
 	c.mu.Lock()
 	for _, s := range c.intsBB {
-		if len(s) != 1 || s[0] == 0 {
+		if s == nil || len(*s) != 1 || (*s)[0] == 0 {
 			all = false
 		}
 	}

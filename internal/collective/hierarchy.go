@@ -94,53 +94,48 @@ func (h *Hierarchy) IntraNodeBytes() int64 {
 
 // BroadcastInts distributes root's int slice to every rank of the
 // communicator; non-root ranks receive a fresh copy (sizes need not be
-// known in advance).
+// known in advance). The blackboard stash is pooled.
 func (c *Comm) BroadcastInts(rank, root int, x []int) []int {
 	if rank == root {
-		mine := make([]int, len(x))
-		copy(mine, x)
-		c.mu.Lock()
-		c.intsBB[root] = mine
-		c.mu.Unlock()
+		c.stashInts(root, x)
 	}
 	c.barrier.Wait()
 	c.mu.Lock()
-	src := c.intsBB[root]
+	var src []int
+	if p := c.intsBB[root]; p != nil {
+		src = *p
+	}
 	out := make([]int, len(src))
 	copy(out, src)
+	c.stats[rank].BroadcastCalls++
+	if rank == root {
+		c.stats[rank].BroadcastBytes += int64(4 * len(x))
+	}
 	c.mu.Unlock()
-	c.addStats(rank, func(s *Stats) {
-		s.BroadcastCalls++
-		if rank == root {
-			s.BroadcastBytes += int64(4 * len(x))
-		}
-	})
 	c.barrier.Wait()
 	return out
 }
 
 // BroadcastFloatsVar distributes root's float32 slice to every rank,
 // returning a fresh copy on every rank (length follows the root's slice).
+// The blackboard stash is pooled.
 func (c *Comm) BroadcastFloatsVar(rank, root int, x []float32) []float32 {
 	if rank == root {
-		mine := make([]float32, len(x))
-		copy(mine, x)
-		c.mu.Lock()
-		c.f32BB[root] = mine
-		c.mu.Unlock()
+		c.stashFloats(root, x, nil)
 	}
 	c.barrier.Wait()
 	c.mu.Lock()
-	src := c.f32BB[root]
+	var src []float32
+	if p := c.f32BB[root]; p != nil {
+		src = *p
+	}
 	out := make([]float32, len(src))
 	copy(out, src)
+	c.stats[rank].BroadcastCalls++
+	if rank == root {
+		c.stats[rank].BroadcastBytes += int64(4 * len(x))
+	}
 	c.mu.Unlock()
-	c.addStats(rank, func(s *Stats) {
-		s.BroadcastCalls++
-		if rank == root {
-			s.BroadcastBytes += int64(4 * len(x))
-		}
-	})
 	c.barrier.Wait()
 	return out
 }

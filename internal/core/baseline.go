@@ -27,7 +27,7 @@ func (BaselineAllGather) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, err
 	d := grad.Rows.Cols
 
 	stats := Stats{Tokens: k}
-	before := ctx.Comm.RankStats(ctx.Rank)
+	before := ctx.Comm.SyncStats(ctx.Rank)
 
 	// Scratch: G dense gradient blocks land on this rank (§II-B: "the
 	// ALLGATHER operation requires Θ(G×K×D) local memory to hold G
@@ -46,7 +46,7 @@ func (BaselineAllGather) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, err
 
 	// Local scatter-add of all G·K token rows. Duplicate words collide on
 	// the same accumulator row — the very serialization §III-A eliminates.
-	pos := make(map[int]int)
+	pos := ctx.WS.scratchRowMap()
 	var order []int
 	for _, idxs := range allIdx {
 		for _, w := range idxs {
@@ -70,7 +70,7 @@ func (BaselineAllGather) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, err
 
 	stats.UniqueLocal = countUnique(grad.Indices)
 	stats.UniqueGlobal = len(order)
-	stats.WireBytes = ctx.Comm.RankStats(ctx.Rank).Sub(before).Total()
+	stats.WireBytes = ctx.Comm.SyncStats(ctx.Rank).Sub(before).Total()
 	return Update{Indices: order, Rows: acc}, stats, nil
 }
 

@@ -109,6 +109,79 @@ type Ctx struct {
 	// Wire, when non-nil, applies FP16 compression-scaling to gradient
 	// payloads (§III-C). Index payloads always travel as int32.
 	Wire *half.Scaler
+	// WS, when non-nil, supplies reusable per-rank scratch (maps, index
+	// and row buffers) so steady-state exchanges stop churning the
+	// allocator. A Workspace belongs to exactly one rank and must not be
+	// shared.
+	WS *Workspace
+}
+
+// Workspace is reusable per-rank scratch for the exchange engines: the
+// duplicate-detection and row-mapping hash maps plus the locally reduced
+// index/row buffers, all of which are rebuilt every step with
+// near-identical sizes. Engines treat a nil *Workspace as "allocate
+// fresh", so the scratch path is purely an optimization and cannot change
+// results. Buffers handed out by a Workspace are only valid until the next
+// request for the same buffer; nothing returned to the exchange's caller
+// (Update indices/rows) ever aliases workspace memory.
+type Workspace struct {
+	posMap map[int]int
+	rowMap map[int]int
+	idx    []int
+	rows   []float32
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use and
+// are reused afterwards.
+func NewWorkspace() *Workspace {
+	return &Workspace{posMap: make(map[int]int), rowMap: make(map[int]int)}
+}
+
+// scratchPosMap returns the cleared duplicate-detection map (fresh when the
+// workspace is nil). Lifetime: until the next scratchPosMap call on the
+// same workspace.
+func (w *Workspace) scratchPosMap() map[int]int {
+	if w == nil {
+		return make(map[int]int)
+	}
+	clear(w.posMap)
+	return w.posMap
+}
+
+// scratchRowMap is the row-mapping counterpart of scratchPosMap.
+func (w *Workspace) scratchRowMap() map[int]int {
+	if w == nil {
+		return make(map[int]int)
+	}
+	clear(w.rowMap)
+	return w.rowMap
+}
+
+// scratchInts returns an empty int slice with capacity ≥ n backed by the
+// workspace (fresh when nil). Lifetime: until the next scratchInts call.
+func (w *Workspace) scratchInts(n int) []int {
+	if w == nil {
+		return make([]int, 0, n)
+	}
+	if cap(w.idx) < n {
+		w.idx = make([]int, 0, n)
+	}
+	return w.idx[:0]
+}
+
+// scratchMatrix returns a zeroed r×c matrix backed by the workspace (fresh
+// when nil). Lifetime: until the next scratchMatrix call.
+func (w *Workspace) scratchMatrix(r, c int) *tensor.Matrix {
+	if w == nil {
+		return tensor.NewMatrix(r, c)
+	}
+	n := r * c
+	if cap(w.rows) < n {
+		w.rows = make([]float32, n)
+	}
+	s := w.rows[:n]
+	clear(s)
+	return tensor.NewMatrixFrom(r, c, s)
 }
 
 // Exchanger synchronizes one embedding-gradient step across ranks.
@@ -152,11 +225,14 @@ func agreeAlloc(ctx *Ctx, localErr error, release func()) error {
 
 // localReduce performs steps 1–2 of §III-A: collapse duplicate-word rows of
 // the token-level gradient into one row per locally unique word. The
-// returned indices are sorted ascending; rows align with indices.
-func localReduce(grad SparseGrad) (idx []int, rows *tensor.Matrix) {
+// returned indices are sorted ascending; rows align with indices. With a
+// non-nil workspace, the returned idx and rows are workspace scratch —
+// valid until the engine's next localReduce — and must not escape into the
+// returned Update.
+func localReduce(ws *Workspace, grad SparseGrad) (idx []int, rows *tensor.Matrix) {
 	d := grad.Rows.Cols
-	pos := make(map[int]int, len(grad.Indices))
-	idx = make([]int, 0, len(grad.Indices))
+	pos := ws.scratchPosMap()
+	idx = ws.scratchInts(len(grad.Indices))
 	for _, w := range grad.Indices {
 		if _, ok := pos[w]; !ok {
 			pos[w] = 0
@@ -167,7 +243,7 @@ func localReduce(grad SparseGrad) (idx []int, rows *tensor.Matrix) {
 	for i, w := range idx {
 		pos[w] = i
 	}
-	rows = tensor.NewMatrix(len(idx), d)
+	rows = ws.scratchMatrix(len(idx), d)
 	for i, w := range grad.Indices {
 		tensor.AddInPlace(rows.Row(pos[w]), grad.Rows.Row(i))
 	}
@@ -176,12 +252,14 @@ func localReduce(grad SparseGrad) (idx []int, rows *tensor.Matrix) {
 
 // globalUnique performs step 4: merge all ranks' index vectors into the
 // sorted duplicate-free Î. Every rank computes this independently from the
-// same gathered input, so the result is consistent cluster-wide.
-func globalUnique(gathered [][]int) []int {
-	seen := make(map[int]struct{})
+// same gathered input, so the result is consistent cluster-wide. The
+// returned slice is always freshly allocated (it becomes Update.Indices and
+// escapes to the caller); only the dedup map draws on the workspace.
+func globalUnique(ws *Workspace, gathered [][]int) []int {
+	seen := ws.scratchPosMap()
 	for _, ranks := range gathered {
 		for _, w := range ranks {
-			seen[w] = struct{}{}
+			seen[w] = 0
 		}
 	}
 	out := make([]int, 0, len(seen))

@@ -484,7 +484,7 @@ func TestLocalReduce(t *testing.T) {
 			20, 20,
 		}),
 	}
-	idx, rows := localReduce(grad)
+	idx, rows := localReduce(NewWorkspace(), grad)
 	if len(idx) != 3 || idx[0] != 3 || idx[1] != 5 || idx[2] != 9 {
 		t.Fatalf("idx = %v", idx)
 	}
@@ -494,7 +494,7 @@ func TestLocalReduce(t *testing.T) {
 }
 
 func TestGlobalUnique(t *testing.T) {
-	got := globalUnique([][]int{{3, 1, 3}, {2, 1}, {}})
+	got := globalUnique(nil, [][]int{{3, 1, 3}, {2, 1}, {}})
 	want := []int{1, 2, 3}
 	if len(got) != len(want) {
 		t.Fatalf("got %v", got)

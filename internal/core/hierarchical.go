@@ -53,19 +53,20 @@ func (h HierarchicalExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats
 	leaders := h.Hier.Leaders()
 	groupID, _ := h.Hier.GroupOf(ctx.Rank)
 
-	before := group.RankStats(groupRank)
+	before := group.SyncStats(groupRank)
 	beforeLead := collective.Stats{}
 	if h.Hier.IsLeader(ctx.Rank) {
-		beforeLead = leaders.RankStats(groupID)
+		beforeLead = leaders.SyncStats(groupID)
 	}
 
 	// Phase 1 — intra-node unique reduce (steps 1–6 of §III-A at node
-	// scope).
-	localIdx, localRows := localReduce(grad)
+	// scope). mNode cannot come from the workspace: localRows (workspace
+	// scratch) is still being read while mNode is filled.
+	localIdx, localRows := localReduce(ctx.WS, grad)
 	stats.UniqueLocal = len(localIdx)
 	gathered := group.AllGatherInts(groupRank, grad.Indices)
-	nodeIdx := globalUnique(gathered)
-	nodeRow := make(map[int]int, len(nodeIdx))
+	nodeIdx := globalUnique(ctx.WS, gathered)
+	nodeRow := ctx.WS.scratchRowMap()
 	for i, w := range nodeIdx {
 		nodeRow[w] = i
 	}
@@ -80,8 +81,9 @@ func (h HierarchicalExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats
 	var mGlobal *tensor.Matrix
 	if h.Hier.IsLeader(ctx.Rank) {
 		gatheredNodes := leaders.AllGatherInts(groupID, nodeIdx)
-		globalIdx = globalUnique(gatheredNodes)
-		row := make(map[int]int, len(globalIdx))
+		// scratchRowMap recycles nodeRow's map, which is dead by now.
+		globalIdx = globalUnique(ctx.WS, gatheredNodes)
+		row := ctx.WS.scratchRowMap()
 		for i, w := range globalIdx {
 			row[w] = i
 		}
@@ -104,9 +106,9 @@ func (h HierarchicalExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats
 	mOut := tensor.NewMatrixFrom(len(globalIdx), d, rowPayload)
 
 	stats.UniqueGlobal = len(globalIdx)
-	wire := group.RankStats(groupRank).Sub(before).Total()
+	wire := group.SyncStats(groupRank).Sub(before).Total()
 	if h.Hier.IsLeader(ctx.Rank) {
-		wire += leaders.RankStats(groupID).Sub(beforeLead).Total()
+		wire += leaders.SyncStats(groupID).Sub(beforeLead).Total()
 	}
 	stats.WireBytes = wire
 	stats.ScratchBytes = int64(len(localIdx))*int64(d)*4 +

@@ -23,11 +23,11 @@ func (UniqueExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, error)
 	k := len(grad.Indices)
 	d := grad.Rows.Cols
 	stats := Stats{Tokens: k}
-	before := ctx.Comm.RankStats(ctx.Rank)
+	before := ctx.Comm.SyncStats(ctx.Rank)
 
 	// Steps 1–2: locally unique indices Ĵ and locally reduced gradients Δ̂
-	// (U_i × D).
-	localIdx, localRows := localReduce(grad)
+	// (U_i × D). Both live in per-rank workspace scratch when available.
+	localIdx, localRows := localReduce(ctx.WS, grad)
 	stats.UniqueLocal = len(localIdx)
 
 	// Scratch for Δ̂ and the gathered indices, agreed collectively so an
@@ -46,10 +46,10 @@ func (UniqueExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, error)
 	// Step 4: filter to the globally unique, totally ordered Î. Every rank
 	// computes the same Î from the same gathered indices, giving the
 	// cluster-wide consistent row mapping the ALLREDUCE needs.
-	globalIdx := globalUnique(gathered)
+	globalIdx := globalUnique(ctx.WS, gathered)
 	ug := len(globalIdx)
 	stats.UniqueGlobal = ug
-	rowOf := make(map[int]int, ug)
+	rowOf := ctx.WS.scratchRowMap()
 	for i, w := range globalIdx {
 		rowOf[w] = i
 	}
@@ -71,7 +71,7 @@ func (UniqueExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, error)
 	ctx.Comm.AllReduce(ctx.Rank, m.Data, ctx.Wire)
 
 	// Step 7 is the caller's Update.Apply: conflict-free, one row per word.
-	stats.WireBytes = ctx.Comm.RankStats(ctx.Rank).Sub(before).Total()
+	stats.WireBytes = ctx.Comm.SyncStats(ctx.Rank).Sub(before).Total()
 	// Peak scratch: local reduced + gathered indices + M, all live at the
 	// ALLREDUCE.
 	stats.ScratchBytes = int64(len(localIdx))*int64(d)*4 + int64(g)*int64(k)*4 + int64(ug)*int64(d)*4

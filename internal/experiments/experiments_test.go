@@ -11,7 +11,7 @@ import (
 func quickOpts() Options { return Options{Quick: true, Seed: 42} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-fp16", "abl-hier", "abl-sampler", "abl-seed", "bpc", "fig1", "fig5", "fig6", "fig7", "fig8", "mem", "tab1", "tab3", "tab4", "tab5"}
+	want := []string{"abl-fp16", "abl-hier", "abl-sampler", "abl-seed", "bpc", "fig1", "fig5", "fig6", "fig7", "fig8", "mem", "overlap", "tab1", "tab3", "tab4", "tab5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -29,6 +29,23 @@ func TestRegistryComplete(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if _, err := Run("nope", quickOpts()); err == nil {
 		t.Fatal("unknown id must error")
+	}
+}
+
+// TestOverlapExperiment regenerates the overlap ablation and checks its
+// invariant: the overlapped path must move exactly the bytes the
+// synchronous path moves (the table flags any divergence with "NO").
+func TestOverlapExperiment(t *testing.T) {
+	rep, err := Run("overlap", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if strings.Contains(out, "NO (") || strings.Contains(out, "WARNING") {
+		t.Errorf("wire bytes diverged between sync and overlapped reduction:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("missing speedup summary:\n%s", out)
 	}
 }
 

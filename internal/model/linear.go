@@ -21,19 +21,16 @@ type Linear struct {
 
 	// forward cache
 	x *tensor.Matrix
-	// scratch for gradient accumulation
-	scratch *tensor.Matrix
 }
 
 // NewLinear returns a Linear layer with Xavier-uniform weights.
 func NewLinear(in, out int, r *rng.RNG) *Linear {
 	l := &Linear{
 		In: in, Out: out,
-		W:       tensor.NewMatrix(out, in),
-		B:       make([]float32, out),
-		gw:      tensor.NewMatrix(out, in),
-		gb:      make([]float32, out),
-		scratch: tensor.NewMatrix(out, in),
+		W:  tensor.NewMatrix(out, in),
+		B:  make([]float32, out),
+		gw: tensor.NewMatrix(out, in),
+		gb: make([]float32, out),
 	}
 	l.W.RandomizeUniform(r, math.Sqrt(6/float64(in+out)))
 	return l
@@ -57,7 +54,7 @@ func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		panic("model: Linear.Backward before Forward")
 	}
 	// gW += dyᵀ @ x ; gb += column sums of dy ; dx = dy @ W.
-	addOuter(l.gw, dy, l.x, l.scratch)
+	addOuter(l.gw, dy, l.x)
 	for r := 0; r < dy.Rows; r++ {
 		tensor.AddInPlace(l.gb, dy.Row(r))
 	}

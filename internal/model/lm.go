@@ -142,11 +142,25 @@ type StepResult struct {
 	OutputGrad core.SparseGrad
 }
 
+// BackwardHook observes backpropagation progress: the trainer's overlap
+// path registers one to start reducing a dense layer's gradients the moment
+// that layer's Backward finishes, while earlier layers are still
+// backpropagating. The hook is called once per dense layer, in backward
+// order (projection first, RNN last); when it fires, every Param of that
+// layer holds its final gradient for this step.
+type BackwardHook func(layer Layer)
+
 // ForwardBackward runs one training step on a batch laid out as
 // inputs[t][b] / targets[t][b] (T timesteps × B sequences). For sampled
 // softmax pass the rank's sampler; with sampler == nil (or cfg.Sampled == 0)
 // the full softmax is used.
 func (m *LM) ForwardBackward(inputs, targets [][]int, sampler sampling.CandidateSampler) StepResult {
+	return m.ForwardBackwardHooked(inputs, targets, sampler, nil)
+}
+
+// ForwardBackwardHooked is ForwardBackward with a per-layer gradient-ready
+// callback (see BackwardHook); hook may be nil.
+func (m *LM) ForwardBackwardHooked(inputs, targets [][]int, sampler sampling.CandidateSampler, hook BackwardHook) StepResult {
 	t := len(inputs)
 	if t == 0 || len(targets) != t {
 		panic("model: inputs/targets must have equal positive length")
@@ -199,6 +213,9 @@ func (m *LM) ForwardBackward(inputs, targets [][]int, sampler sampling.Candidate
 
 	// Backward through projection, dropout, RNN, embedding.
 	dhStacked := m.proj.Backward(dp)
+	if hook != nil {
+		hook(m.proj)
+	}
 	m.drop.Backward(dhStacked)
 	dhs := make([]*tensor.Matrix, t)
 	for step := 0; step < t; step++ {
@@ -207,6 +224,9 @@ func (m *LM) ForwardBackward(inputs, targets [][]int, sampler sampling.Candidate
 		dhs[step] = dh
 	}
 	dxs := m.rnn.Backward(dhs)
+	if hook != nil {
+		hook(m.rnn)
+	}
 
 	inRows := tensor.NewMatrix(t*batch, m.Cfg.Dim)
 	for step := 0; step < t; step++ {

@@ -29,9 +29,6 @@ type LSTM struct {
 	gi, gf, gg, go_ []*tensor.Matrix // post-activation gates
 	h0, c0          *tensor.Matrix
 
-	scratchX *tensor.Matrix
-	scratchH *tensor.Matrix
-
 	// stateful training (see state.go)
 	carry   bool
 	carried *carriedState
@@ -41,14 +38,12 @@ type LSTM struct {
 func NewLSTM(in, hidden int, r *rng.RNG) *LSTM {
 	l := &LSTM{
 		In: in, Hidden: hidden,
-		Wx:       tensor.NewMatrix(4*hidden, in),
-		Wh:       tensor.NewMatrix(4*hidden, hidden),
-		B:        make([]float32, 4*hidden),
-		gwx:      tensor.NewMatrix(4*hidden, in),
-		gwh:      tensor.NewMatrix(4*hidden, hidden),
-		gb:       make([]float32, 4*hidden),
-		scratchX: tensor.NewMatrix(4*hidden, in),
-		scratchH: tensor.NewMatrix(4*hidden, hidden),
+		Wx:  tensor.NewMatrix(4*hidden, in),
+		Wh:  tensor.NewMatrix(4*hidden, hidden),
+		B:   make([]float32, 4*hidden),
+		gwx: tensor.NewMatrix(4*hidden, in),
+		gwh: tensor.NewMatrix(4*hidden, hidden),
+		gb:  make([]float32, 4*hidden),
 	}
 	l.Wx.RandomizeUniform(r, math.Sqrt(6/float64(in+4*hidden)))
 	l.Wh.RandomizeUniform(r, math.Sqrt(6/float64(hidden+4*hidden)))
@@ -181,8 +176,8 @@ func (l *LSTM) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 
 		// Parameter gradients: gWx += dzᵀ x_t ; gWh += dzᵀ h_{t-1} ;
 		// gb += colsum dz.
-		addOuter(l.gwx, dz, l.xs[step], l.scratchX)
-		addOuter(l.gwh, dz, hPrev, l.scratchH)
+		addOuter(l.gwx, dz, l.xs[step])
+		addOuter(l.gwh, dz, hPrev)
 		for b := 0; b < batch; b++ {
 			tensor.AddInPlace(l.gb, dz.Row(b))
 		}

@@ -50,10 +50,8 @@ func NumParams(layers ...Layer) int {
 	return n
 }
 
-// addOuter accumulates dst += aᵀ @ b without disturbing dst's existing
-// contents (MatMulATB overwrites, so gradient accumulation goes through a
-// scratch matrix).
-func addOuter(dst, a, b *tensor.Matrix, scratch *tensor.Matrix) {
-	tensor.MatMulATB(scratch, a, b)
-	tensor.AddInPlace(dst.Data, scratch.Data)
+// addOuter accumulates dst += aᵀ @ b through the fused kernel — no scratch
+// matrix, one pass over dst.
+func addOuter(dst, a, b *tensor.Matrix) {
+	tensor.MatMulATBAcc(dst, a, b)
 }

@@ -44,9 +44,6 @@ type RHN struct {
 	hGate   [][]*tensor.Matrix // h_l per step/micro-layer
 	tGate   [][]*tensor.Matrix // t_l per step/micro-layer
 
-	scratchIn *tensor.Matrix
-	scratchH  *tensor.Matrix
-
 	// stateful training (see state.go)
 	carry   bool
 	carried *carriedState
@@ -60,12 +57,10 @@ func NewRHN(in, hidden, depth int, r *rng.RNG) *RHN {
 	}
 	l := &RHN{
 		In: in, Hidden: hidden, Depth: depth,
-		Wh:        tensor.NewMatrix(hidden, in),
-		Wt:        tensor.NewMatrix(hidden, in),
-		gwh:       tensor.NewMatrix(hidden, in),
-		gwt:       tensor.NewMatrix(hidden, in),
-		scratchIn: tensor.NewMatrix(hidden, in),
-		scratchH:  tensor.NewMatrix(hidden, hidden),
+		Wh:  tensor.NewMatrix(hidden, in),
+		Wt:  tensor.NewMatrix(hidden, in),
+		gwh: tensor.NewMatrix(hidden, in),
+		gwt: tensor.NewMatrix(hidden, in),
 	}
 	bound := math.Sqrt(6 / float64(in+hidden))
 	l.Wh.RandomizeUniform(r, bound)
@@ -211,8 +206,8 @@ func (l *RHN) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 			}
 
 			// Recurrent weight gradients and state gradient.
-			addOuter(l.grh[d], dzh, sIn, l.scratchH)
-			addOuter(l.grt[d], dzt, sIn, l.scratchH)
+			addOuter(l.grh[d], dzh, sIn)
+			addOuter(l.grt[d], dzt, sIn)
 			for b := 0; b < batch; b++ {
 				tensor.AddInPlace(l.gbh[d], dzh.Row(b))
 				tensor.AddInPlace(l.gbt[d], dzt.Row(b))
@@ -224,8 +219,8 @@ func (l *RHN) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 
 			// Input projection contributes at micro-layer 0 only.
 			if d == 0 {
-				addOuter(l.gwh, dzh, l.xs[step], l.scratchIn)
-				addOuter(l.gwt, dzt, l.xs[step], l.scratchIn)
+				addOuter(l.gwh, dzh, l.xs[step])
+				addOuter(l.gwt, dzt, l.xs[step])
 				dxTmp := tensor.NewMatrix(batch, l.In)
 				tensor.MatMul(dxTmp, dzh, l.Wh)
 				tensor.AddInPlace(dx.Data, dxTmp.Data)

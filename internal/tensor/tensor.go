@@ -103,10 +103,7 @@ func MatMul(dst, a, b *Matrix) {
 			if aik == 0 {
 				continue
 			}
-			br := b.Row(k)
-			for j := range br {
-				dr[j] += aik * br[j]
-			}
+			axpy(aik, dr, b.Row(k))
 		}
 	}
 }
@@ -119,6 +116,19 @@ func MatMulATB(dst, a, b *Matrix) {
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	dst.Zero()
+	MatMulATBAcc(dst, a, b)
+}
+
+// MatMulATBAcc computes dst += aᵀ @ b without any scratch: the fused
+// gradient-accumulation kernel of the backward passes. Compared with
+// MatMulATB into a scratch matrix followed by AddInPlace, it touches dst
+// once instead of writing, re-reading, and adding a full scratch matrix —
+// the dominant memory traffic of weight-gradient accumulation.
+func MatMulATBAcc(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATBAcc shape mismatch (%dx%d)T@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
 	for k := 0; k < a.Rows; k++ {
 		ar := a.Row(k)
 		br := b.Row(k)
@@ -126,10 +136,7 @@ func MatMulATB(dst, a, b *Matrix) {
 			if aki == 0 {
 				continue
 			}
-			dr := dst.Row(i)
-			for j := range br {
-				dr[j] += aki * br[j]
-			}
+			axpy(aki, dst.Row(i), br)
 		}
 	}
 }
@@ -146,12 +153,7 @@ func MatMulABT(dst, a, b *Matrix) {
 		ar := a.Row(i)
 		dr := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			br := b.Row(j)
-			var sum float32
-			for k := range ar {
-				sum += ar[k] * br[k]
-			}
-			dr[j] = sum
+			dr[j] = Dot(ar, b.Row(j))
 		}
 	}
 }
@@ -171,8 +173,21 @@ func Axpy(alpha float32, dst, src []float32) {
 	if len(dst) != len(src) {
 		panic("tensor: Axpy length mismatch")
 	}
-	for i, v := range src {
-		dst[i] += alpha * v
+	axpy(alpha, dst, src)
+}
+
+// axpy is the unchecked, 4-way unrolled kernel behind Axpy and the matmul
+// inner loops (callers guarantee equal lengths).
+func axpy(alpha float32, dst, src []float32) {
+	n := len(dst) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += alpha * src[i]
 	}
 }
 
@@ -183,16 +198,27 @@ func Scale(x []float32, alpha float32) {
 	}
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. Four independent accumulators
+// break the floating-point add latency chain that serializes the naive
+// loop, which is what lets the backward passes' a@bᵀ products run at
+// memory speed instead of FLOP-latency speed.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
 	}
-	var sum float32
-	for i := range a {
-		sum += a[i] * b[i]
+	var s0, s1, s2, s3 float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return sum
+	s := (s0 + s1) + (s2 + s3)
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
 }
 
 // L2Norm returns the Euclidean norm of x (accumulated in float64 for

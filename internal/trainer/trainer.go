@@ -74,6 +74,17 @@ type Config struct {
 	DeviceCapacity int64
 	// ClipNorm, when > 0, clips each dense gradient tensor's L2 norm.
 	ClipNorm float64
+	// Overlap enables the bucketed asynchronous dense-gradient reduction:
+	// each dense layer's ring all-reduce starts the moment its backward
+	// pass completes, overlapping communication of layer L with
+	// backpropagation of layer L−1 and with the sparse embedding exchange.
+	// Gradients, wire bytes, and replicas are bit-identical to the
+	// synchronous path (tested); only wall-clock changes.
+	Overlap bool
+	// BucketBytes overrides the async bucket-close threshold
+	// (collective.DefaultBucketBytes when 0). Only meaningful with
+	// Overlap.
+	BucketBytes int64
 }
 
 // EvalPoint is one validation measurement.
@@ -139,8 +150,18 @@ type Trainer struct {
 	comm   *collective.Comm
 	models []*model.LM
 	opts   []optim.Optimizer
+	ws     []*core.Workspace
 	shards [][]int
 	valid  []int
+	// step is the global training-step counter; Run and Steps both
+	// advance it, so interleaved calls keep consuming fresh batches (and
+	// fresh per-step sampler seeds) instead of retraining from zero. lr
+	// and nextDecay carry the per-epoch decay schedule across calls the
+	// same way, so a resumed Run continues the decayed trajectory rather
+	// than restarting from cfg.LR.
+	step      int
+	lr        float64
+	nextDecay int
 }
 
 // New builds a trainer over the given train/validation token streams. The
@@ -173,6 +194,13 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 		comm:  collective.New(cfg.Ranks),
 		valid: valid,
 	}
+	if cfg.BucketBytes > 0 {
+		t.comm.SetBucketBytes(cfg.BucketBytes)
+	}
+	t.ws = make([]*core.Workspace, cfg.Ranks)
+	for r := range t.ws {
+		t.ws[r] = core.NewWorkspace()
+	}
 	// Identical replicas: build rank 0, copy into the rest.
 	t.models = make([]*model.LM, cfg.Ranks)
 	t.opts = make([]optim.Optimizer, cfg.Ranks)
@@ -189,7 +217,35 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	for r := 0; r < cfg.Ranks; r++ {
 		t.shards[r] = train[r*perRank : (r+1)*perRank]
 	}
+	t.lr = cfg.LR
+	t.nextDecay = t.StepsPerEpoch()
 	return t, nil
+}
+
+// lrForStep returns the learning rate for the current global step,
+// applying the per-epoch decay (§IV-B) the first time each epoch boundary
+// is crossed — shared by Run and Steps so the schedule survives
+// interleaved calls.
+func (t *Trainer) lrForStep() float64 {
+	if t.cfg.LRDecay > 0 && t.cfg.LRDecay != 1 {
+		for t.step >= t.nextDecay {
+			t.lr *= t.cfg.LRDecay
+			t.nextDecay += t.StepsPerEpoch()
+		}
+	}
+	return t.lr
+}
+
+// resetStateAtEpoch zeroes carried RNN state when the global step sits on
+// an epoch boundary: stateful feeding's lanes jump back to their starts
+// there, so the carried state no longer matches the text. Run and Steps
+// share it so both entry points train identically.
+func (t *Trainer) resetStateAtEpoch() {
+	if t.cfg.Model.Stateful && t.step%t.StepsPerEpoch() == 0 {
+		for _, m := range t.models {
+			m.ResetRNNState()
+		}
+	}
 }
 
 // batchAt slices one (T×B) batch out of a shard at the given step index.
@@ -264,26 +320,23 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 		evalEvery = 1
 	}
 	res := Result{}
+	// Snapshot the traffic counters so the Result reports this Run's own
+	// wire bytes, not lifetime totals (earlier Steps calls — warm-ups in
+	// benches — would otherwise inflate the figure).
+	wireBefore := t.comm.MaxStats().Total()
 	seeds := sampling.Assign(t.cfg.SeedStrategy, t.cfg.Ranks, t.cfg.BaseSeed+1)
 
 	totalSteps := epochs * stepsPerEpoch
-	lastEval := -evalEvery
-	lr := t.cfg.LR
-	for step := 0; step < totalSteps; step++ {
-		if step > 0 && step%stepsPerEpoch == 0 && t.cfg.LRDecay > 0 && t.cfg.LRDecay != 1 {
-			lr *= t.cfg.LRDecay
-		}
-		if t.cfg.Model.Stateful && step%stepsPerEpoch == 0 {
-			// Epoch boundary: the lanes jump back to their starts, so
-			// the carried state no longer matches the text.
-			for _, m := range t.models {
-				m.ResetRNNState()
-			}
-		}
+	lastEval := t.step - evalEvery
+	for s := 0; s < totalSteps; s++ {
+		step := t.step
+		lr := t.lrForStep()
+		t.resetStateAtEpoch()
 		stats, err := t.trainStep(step, lr, seeds)
 		if err != nil {
 			return res, err
 		}
+		t.step++
 		res.Stats.Steps++
 		res.Stats.InputUniqueGlobal += int64(stats.inUnique)
 		res.Stats.OutputUniqueGlobal += int64(stats.outUnique)
@@ -292,7 +345,7 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 
 		// Validate on the periodic schedule, plus once at the very end
 		// unless a periodic eval just happened.
-		if (step+1)%evalEvery == 0 || (step == totalSteps-1 && step-lastEval >= evalEvery/2) {
+		if (step+1)%evalEvery == 0 || (s == totalSteps-1 && step-lastEval >= evalEvery/2) {
 			lastEval = step
 			loss := t.Validate()
 			ep := EvalPoint{
@@ -304,9 +357,26 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 			res.FinalLoss = loss
 		}
 	}
-	res.Stats.WireBytesPerRank = t.comm.MaxStats().Total()
+	res.Stats.WireBytesPerRank = t.comm.MaxStats().Total() - wireBefore
 	res.Stats.PeakMemory = t.clu.MaxPeak()
 	return res, nil
+}
+
+// Steps runs n consecutive training steps without validating — the raw
+// hot loop the step benchmarks and the overlap experiment time. It
+// advances the trainer's global step counter and the LR-decay schedule,
+// so consecutive calls (and a later Run) consume fresh batches at the
+// schedule's current learning rate rather than retraining from step zero.
+func (t *Trainer) Steps(n int) error {
+	seeds := sampling.Assign(t.cfg.SeedStrategy, t.cfg.Ranks, t.cfg.BaseSeed+1)
+	for i := 0; i < n; i++ {
+		t.resetStateAtEpoch()
+		if _, err := t.trainStep(t.step, t.lrForStep(), seeds); err != nil {
+			return err
+		}
+		t.step++
+	}
+	return nil
 }
 
 type stepStats struct {
@@ -315,13 +385,25 @@ type stepStats struct {
 }
 
 // trainStep executes one synchronous step across all ranks.
+//
+// With cfg.Overlap, dense-gradient ring reductions run asynchronously on
+// the communicator's bucket queue: a layer's all-reduce is submitted by a
+// backward hook the moment the layer finishes backpropagating (overlapping
+// the reduction of layer L with the backprop of layer L−1), the bucket is
+// flushed at the start of phase 2, and the sparse embedding exchange then
+// proceeds while the dense rings are still in flight (the async ring and
+// the synchronous collectives use disjoint channel sets). Both modes apply
+// bit-identical arithmetic in the same per-tensor order, so replicas and
+// wire-byte counters match exactly between them.
 func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats, error) {
 	g := t.cfg.Ranks
 	results := make([]model.StepResult, g)
 	samplers := make([]sampling.CandidateSampler, g)
+	pendings := make([][]*collective.Pending, g)
 	var agg stepStats
 
-	// Phase 1 (parallel): forward/backward on every rank.
+	// Phase 1 (parallel): forward/backward on every rank, with dense
+	// reductions streaming out mid-backprop in Overlap mode.
 	phaseStart := time.Now()
 	err := t.clu.Run(func(rank int, dev *cluster.Device) error {
 		m := t.models[rank]
@@ -340,7 +422,21 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 		}
 		samplers[rank] = sampler
 		inputs, targets := t.batchAt(t.shards[rank], step)
-		results[rank] = m.ForwardBackward(inputs, targets, sampler)
+		var hook model.BackwardHook
+		if t.cfg.Overlap {
+			hook = func(layer model.Layer) {
+				for _, p := range layer.Params() {
+					pendings[rank] = append(pendings[rank],
+						t.comm.AllReduceAsync(rank, p.Grad, t.cfg.Wire))
+				}
+				// Flush per layer so the layer's reduction genuinely
+				// starts now, overlapping the next layer's backward —
+				// the bucket threshold then only splits layers larger
+				// than one bucket.
+				t.comm.FlushAsync(rank)
+			}
+		}
+		results[rank] = m.ForwardBackwardHooked(inputs, targets, sampler, hook)
 		return nil
 	})
 	if err != nil {
@@ -357,40 +453,83 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	outStats := make([]core.Stats, g)
 	_ = t.clu.Run(func(rank int, dev *cluster.Device) error {
 		m := t.models[rank]
-		ctx := &core.Ctx{Rank: rank, Comm: t.comm, Dev: dev, Wire: t.cfg.Wire}
+		ctx := &core.Ctx{Rank: rank, Comm: t.comm, Dev: dev, Wire: t.cfg.Wire, WS: t.ws[rank]}
+		outDense := t.cfg.Model.Sampled == 0
+		outGrad := results[rank].OutputGrad
 
-		// Dense gradients: ring all-reduce then average.
+		// Dense gradients: ring all-reduce. Synchronous mode reduces here;
+		// Overlap mode already queued the layer gradients during backprop
+		// and only needs to queue the full-softmax output gradient (a
+		// dense V×D block that all-reduces like an RNN parameter) and
+		// flush, leaving the rings to run under the sparse exchange below.
+		if t.cfg.Overlap {
+			if outDense {
+				pendings[rank] = append(pendings[rank],
+					t.comm.AllReduceAsync(rank, outGrad.Rows.Data, t.cfg.Wire))
+			}
+			t.comm.FlushAsync(rank)
+		} else {
+			for _, p := range m.DenseParams() {
+				t.comm.AllReduce(rank, p.Grad, t.cfg.Wire)
+			}
+			if outDense {
+				t.comm.AllReduce(rank, outGrad.Rows.Data, t.cfg.Wire)
+			}
+		}
+
+		// drain blocks until every async bucket this rank submitted has
+		// fully reduced. It must run on EVERY exit path below: until the
+		// handles release, peer ranks' bucket runners still read aliases
+		// of this rank's gradient tensors (zero-copy hops), so returning
+		// with pendings in flight would leave dangling readers behind an
+		// aborted step.
+		drain := func() {
+			for _, p := range pendings[rank] {
+				p.Wait()
+			}
+		}
+
+		// Input embedding: the §III exchange (blackboard gathers plus the
+		// synchronous ring, both disjoint from the async ring, so in
+		// Overlap mode this runs concurrently with the dense reductions).
+		upd, st, err := t.cfg.Exchange.Exchange(ctx, results[rank].InputGrad)
+		if err != nil {
+			errs[rank] = err
+			drain()
+			return nil
+		}
+		inStats[rank] = st
+
+		// Output embedding under sampled softmax goes through the exchange
+		// too.
+		var updOut core.Update
+		if !outDense {
+			var stOut core.Stats
+			updOut, stOut, err = t.cfg.Exchange.Exchange(ctx, outGrad)
+			if err != nil {
+				errs[rank] = err
+				drain()
+				return nil
+			}
+			outStats[rank] = stOut
+		}
+
+		// Drain the async queue, then post-process: averaging, clipping
+		// and the embedding updates apply the same arithmetic to the same
+		// tensors in both modes.
+		drain()
 		for _, p := range m.DenseParams() {
-			t.comm.AllReduce(rank, p.Grad, t.cfg.Wire)
 			tensor.Scale(p.Grad, invG)
 			if t.cfg.ClipNorm > 0 {
 				tensor.ClipL2(p.Grad, t.cfg.ClipNorm)
 			}
 		}
-
-		// Input embedding: the §III exchange.
-		upd, st, err := t.cfg.Exchange.Exchange(ctx, results[rank].InputGrad)
-		if err != nil {
-			errs[rank] = err
-			return nil
-		}
-		inStats[rank] = st
 		upd.Apply(m.InEmb, -lr*invG)
-
-		// Output embedding: sampled softmax goes through the exchange;
-		// full softmax all-reduces the dense gradient like an RNN param.
-		if t.cfg.Model.Sampled > 0 {
-			updOut, stOut, err := t.cfg.Exchange.Exchange(ctx, results[rank].OutputGrad)
-			if err != nil {
-				errs[rank] = err
-				return nil
-			}
-			outStats[rank] = stOut
+		if !outDense {
 			updOut.Apply(m.OutEmb, -lr*invG)
 		} else {
-			t.comm.AllReduce(rank, results[rank].OutputGrad.Rows.Data, t.cfg.Wire)
-			tensor.Scale(results[rank].OutputGrad.Rows.Data, invG)
-			core.Update{Indices: results[rank].OutputGrad.Indices, Rows: results[rank].OutputGrad.Rows}.
+			tensor.Scale(outGrad.Rows.Data, invG)
+			core.Update{Indices: outGrad.Indices, Rows: outGrad.Rows}.
 				Apply(m.OutEmb, -lr)
 		}
 		return nil

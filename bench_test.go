@@ -54,6 +54,10 @@ func BenchmarkTable4CharLMScaling(b *testing.B) { benchExperiment(b, "tab4") }
 // scaling: time model plus real scaled-down training).
 func BenchmarkTable5TiebaWeakScaling(b *testing.B) { benchExperiment(b, "tab5") }
 
+// BenchmarkWeakScaleOnline regenerates the online virtual-clock weak-scaling
+// sweep (baseline vs unique predicted step time).
+func BenchmarkWeakScaleOnline(b *testing.B) { benchExperiment(b, "weakscale") }
+
 // BenchmarkFig5WordLMAccuracy regenerates Figure 5 (word-LM perplexity vs
 // epoch across cluster sizes; real training).
 func BenchmarkFig5WordLMAccuracy(b *testing.B) { benchExperiment(b, "fig5") }

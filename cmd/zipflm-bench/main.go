@@ -5,12 +5,18 @@
 //	zipflm-bench -list
 //	zipflm-bench -exp tab3
 //	zipflm-bench -exp all [-quick] [-seed 42]
+//	zipflm-bench -exp weakscale -json BENCH_weakscale.json
 //
 // Every experiment prints paper-reported values alongside the values this
 // reproduction measures or models, so discrepancies are visible in place.
+// With -json, the same reports are additionally written as machine-readable
+// JSON (experiment id, table headers/rows carrying the metrics — predicted
+// times, wire bytes — plus notes), so performance trajectories can be
+// tracked across commits as BENCH_*.json artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,18 +24,59 @@ import (
 	"zipflm/internal/experiments"
 )
 
+// jsonTable is one experiment table in machine-readable form.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonReport mirrors experiments.Report for serialization.
+type jsonReport struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Tables []jsonTable `json:"tables"`
+	Notes  []string    `json:"notes"`
+}
+
+// jsonOutput is the top-level -json document.
+type jsonOutput struct {
+	Seed    uint64       `json:"seed"`
+	Quick   bool         `json:"quick"`
+	Reports []jsonReport `json:"reports"`
+}
+
+func toJSONReport(rep *experiments.Report) jsonReport {
+	out := jsonReport{ID: rep.ID, Title: rep.Title, Notes: rep.Notes}
+	for _, t := range rep.Tables {
+		out.Tables = append(out.Tables, jsonTable{
+			Title:   t.Title,
+			Headers: t.Headers(),
+			Rows:    t.Rows(),
+		})
+	}
+	return out
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		quick = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
-		seed  = flag.Uint64("seed", 42, "reproducibility seed")
+		exp      = flag.String("exp", "all", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
+		seed     = flag.Uint64("seed", 42, "reproducibility seed")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
 	)
 	flag.Parse()
 
 	if *list {
+		width := 0
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-6s %s\n", id, experiments.Title(id))
+			if len(id) > width {
+				width = len(id)
+			}
+		}
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-*s %s\n", width, id, experiments.Title(id))
 		}
 		return
 	}
@@ -39,6 +86,7 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
+	out := jsonOutput{Seed: *seed, Quick: *quick}
 	for _, id := range ids {
 		rep, err := experiments.Run(id, opts)
 		if err != nil {
@@ -46,5 +94,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(rep)
+		out.Reports = append(out.Reports, toJSONReport(rep))
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-bench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "zipflm-bench: wrote %d report(s) to %s\n", len(out.Reports), *jsonPath)
 	}
 }

@@ -12,6 +12,9 @@ package cluster
 import (
 	"fmt"
 	"sync"
+
+	"zipflm/internal/perfmodel"
+	"zipflm/internal/vclock"
 )
 
 // Titan X profile from Table II.
@@ -36,14 +39,23 @@ func (e *ErrOutOfMemory) Error() string {
 		e.Device, e.Want, e.Live, e.Capacity)
 }
 
-// Device is one simulated GPU: a memory accountant plus a FLOP counter.
-// Methods are safe for use from the device's own rank goroutine; the
-// simulator gives each rank exclusive ownership of its device.
+// Device is one simulated GPU: a memory accountant, a FLOP counter, and a
+// virtual clock. Methods are safe for use from the device's own rank
+// goroutine; the simulator gives each rank exclusive ownership of its
+// device.
+//
+// The clock is pay-for-what-you-use: it exists on every device but only
+// moves when something charges it — compute via AdvanceCompute, memory
+// traffic via AdvanceMemory, collectives via the communicator's CostModel
+// (which shares these same clocks). Runs that never charge it behave
+// exactly as before.
 type Device struct {
 	// ID is the rank of this device in the cluster.
 	ID int
 	// Capacity is the memory budget in bytes (0 = unlimited).
 	Capacity int64
+	// Clock is the device's virtual clock in simulated seconds.
+	Clock *vclock.Clock
 
 	mu    sync.Mutex
 	live  int64
@@ -54,7 +66,22 @@ type Device struct {
 // NewDevice returns a device with the given memory capacity in bytes;
 // capacity 0 disables the OOM check (useful in unit tests).
 func NewDevice(id int, capacity int64) *Device {
-	return &Device{ID: id, Capacity: capacity}
+	return &Device{ID: id, Capacity: capacity, Clock: new(vclock.Clock)}
+}
+
+// AdvanceCompute charges n floating-point operations to both the FLOP
+// counter and the virtual clock, at the hardware profile's achieved
+// fraction of peak (frac ≤ 0 means peak).
+func (d *Device) AdvanceCompute(n int64, hw perfmodel.Hardware, frac float64) {
+	d.AddFLOPs(n)
+	d.Clock.Advance(hw.ComputeSeconds(float64(n), frac))
+}
+
+// AdvanceMemory charges n bytes of device-memory traffic (e.g. the
+// embedding scatter-add's read-modify-write volume) to the virtual clock at
+// the profile's memory bandwidth.
+func (d *Device) AdvanceMemory(n int64, hw perfmodel.Hardware) {
+	d.Clock.Advance(hw.MemorySeconds(n))
 }
 
 // Alloc records an allocation of n bytes, returning ErrOutOfMemory when the
@@ -168,6 +195,23 @@ func (c *Cluster) Run(fn func(rank int, dev *Device) error) error {
 		}
 	}
 	return nil
+}
+
+// Clocks returns every device's virtual clock in rank order — the slice a
+// collective.CostModel is attached with.
+func (c *Cluster) Clocks() []*vclock.Clock {
+	out := make([]*vclock.Clock, len(c.Devices))
+	for i, d := range c.Devices {
+		out[i] = d.Clock
+	}
+	return out
+}
+
+// MaxClock returns the latest virtual time across the cluster — the
+// simulated wall-clock of a bulk-synchronous run (all ranks finish when the
+// slowest does).
+func (c *Cluster) MaxClock() float64 {
+	return vclock.MaxNow(c.Clocks())
 }
 
 // MaxPeak returns the largest per-device peak across the cluster, i.e. the

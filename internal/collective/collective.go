@@ -83,6 +83,11 @@ type Comm struct {
 	// async bucket queues, one per rank (async.go).
 	async       []asyncQueue
 	bucketElems int
+
+	// cost, when non-nil, prices every synchronous collective onto the
+	// participating ranks' virtual clocks (cost.go). nil keeps the hot
+	// paths on the exact pre-simulation code path.
+	cost *CostModel
 }
 
 // Stats tallies traffic a single rank has sent, by operation.
@@ -200,8 +205,23 @@ func (c *Comm) MaxStats() Stats {
 	return m
 }
 
-// Barrier blocks until every rank has reached it.
-func (c *Comm) Barrier() { c.barrier.Wait() }
+// Barrier blocks until every rank has reached it. With a cost model
+// attached, the participating clocks synchronize to their maximum — the
+// max-synchronization a real barrier imposes on wall-clock.
+func (c *Comm) Barrier() {
+	c.barrier.Wait()
+	if cm := c.cost; cm != nil {
+		// Barrier has no rank argument, so one charging rank is elected
+		// per round; the charge itself (sync to max) is rank-independent,
+		// keeping virtual times deterministic.
+		if cm.elect(c.g) {
+			cm.Charge(0)
+		}
+		if c.g > 1 {
+			c.barrier.Wait()
+		}
+	}
+}
 
 // getBuf checks a float32 buffer of length n out of the arena, allocating
 // only when the pool has nothing large enough (start-up, or a new high-water
@@ -397,6 +417,13 @@ func (c *Comm) AllReduce(rank int, x []float32, wire *half.Scaler) {
 	if c.g > 1 {
 		c.barrier.Wait()
 	}
+	c.charge(rank, func(cm *CostModel) {
+		es := 4
+		if wire != nil {
+			es = half.Bytes(1)
+		}
+		cm.Charge(cm.Link.RingAllReduceSeconds(c.g, len(x), es))
+	})
 	c.addAllReduceStats(rank, 1, bytes)
 }
 
@@ -409,7 +436,7 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 	c.barrier.Wait()
 
 	out := make([][]int, c.g)
-	var totalElems int
+	var totalElems, maxElems int
 	c.mu.Lock()
 	for r, s := range c.intsBB {
 		var src []int
@@ -420,6 +447,9 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 		copy(cp, src)
 		out[r] = cp
 		totalElems += len(src)
+		if len(src) > maxElems {
+			maxElems = len(src)
+		}
 	}
 	// Ring all-gather volume per rank: (G−1)/G of the total payload,
 	// with indices on the wire as int32 (4 bytes) as real stacks do.
@@ -428,6 +458,9 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 	c.stats[rank].AllGatherBytes += bytes
 	c.mu.Unlock()
 	c.barrier.Wait()
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, int64(4*maxElems)))
+	})
 	return out
 }
 
@@ -439,7 +472,7 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][
 	c.barrier.Wait()
 
 	out := make([][]float32, c.g)
-	var totalElems int
+	var totalElems, maxElems int
 	c.mu.Lock()
 	for r, s := range c.f32BB {
 		var src []float32
@@ -450,6 +483,9 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][
 		copy(cp, src)
 		out[r] = cp
 		totalElems += len(src)
+		if len(src) > maxElems {
+			maxElems = len(src)
+		}
 	}
 	perElem := int64(4)
 	if wire != nil {
@@ -460,6 +496,9 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][
 	c.stats[rank].AllGatherBytes += bytes
 	c.mu.Unlock()
 	c.barrier.Wait()
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, perElem*int64(maxElems)))
+	})
 	return out
 }
 
@@ -491,6 +530,9 @@ func (c *Comm) Broadcast(rank, root int, x []float32) {
 	}
 	c.mu.Unlock()
 	c.barrier.Wait()
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.TreeBroadcastSeconds(c.g, int64(4*len(x))))
+	})
 }
 
 // AgreeAllOK is a control-plane consensus: every rank reports a boolean and
@@ -514,6 +556,9 @@ func (c *Comm) AgreeAllOK(rank int, ok bool) bool {
 	}
 	c.mu.Unlock()
 	c.barrier.Wait()
+	// Control-plane consensus: excluded from byte accounting, but it is a
+	// synchronization point, so clocks max-sync (zero-byte charge).
+	c.charge(rank, func(cm *CostModel) { cm.Charge(0) })
 	return all
 }
 

@@ -1,0 +1,109 @@
+package collective
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"zipflm/internal/perfmodel"
+	"zipflm/internal/vclock"
+)
+
+// CostModel attaches virtual time to a communicator: every synchronous
+// collective synchronizes the participating ranks' clocks to their maximum
+// and advances them together by the operation's α–β duration on the given
+// link (a ring hop costs α + chunkBytes/β, a barrier costs the
+// synchronization alone). Charging happens between two barrier waits, with
+// every rank quiesced, so virtual times are bit-reproducible regardless of
+// goroutine scheduling.
+//
+// A nil CostModel (the default) leaves the hot paths exactly as they were:
+// the only cost is one nil check per collective, guarded by the
+// BenchmarkStep* benches.
+//
+// The model covers the synchronous collectives only. AllReduceAsync buckets
+// deliberately bypass it: overlapped communication hides behind compute, so
+// a single serialized per-rank clock would mis-price it, and bucket runners
+// complete at scheduler-dependent times, which would break reproducibility.
+// Simulated-time experiments therefore run the synchronous path.
+type CostModel struct {
+	// Link is the α–β cost of the fabric this communicator's collectives
+	// traverse (PCIe for an intra-node group, InfiniBand for a ring that
+	// spans nodes — see Hierarchy.AttachCost).
+	Link perfmodel.LinkCost
+	// Clocks are the participating ranks' clocks, indexed by this
+	// communicator's rank ids (length must equal the communicator size).
+	Clocks []*vclock.Clock
+
+	// arrivals elects one charging rank per rankless synchronization round
+	// (Barrier): of the g ranks that increment it between two barrier
+	// waits, exactly one observes the round's first slot.
+	arrivals atomic.Int64
+}
+
+// Charge synchronizes all participating clocks to their maximum and
+// advances them together by d seconds. Exported so higher layers
+// (experiments) can charge modeled costs — e.g. a dense all-reduce that is
+// accounted but not materialized — onto the same clocks the live
+// collectives advance. The caller must have the owning ranks quiesced.
+func (cm *CostModel) Charge(d float64) {
+	vclock.SyncAdvance(cm.Clocks, d)
+}
+
+// elect returns true for exactly one of g concurrent callers per round.
+// Rounds must be separated by barriers on both sides.
+func (cm *CostModel) elect(g int) bool {
+	return (cm.arrivals.Add(1)-1)%int64(g) == 0
+}
+
+// AttachCost installs a cost model on the communicator. Passing nil
+// detaches it. Must not be called while collectives are in flight.
+func (c *Comm) AttachCost(cm *CostModel) {
+	if cm != nil && len(cm.Clocks) != c.g {
+		panic(fmt.Sprintf("collective: cost model has %d clocks for %d ranks", len(cm.Clocks), c.g))
+	}
+	c.cost = cm
+}
+
+// Cost returns the attached cost model (nil when detached).
+func (c *Comm) Cost() *CostModel { return c.cost }
+
+// charge applies fn exactly once across the group and releases no rank
+// until it has been applied. All ranks must call charge at the same point
+// of the same collective, immediately after that collective's closing
+// barrier (so every rank is quiesced and rank 0's fn runs before anyone
+// proceeds). No-op without a cost model.
+func (c *Comm) charge(rank int, fn func(cm *CostModel)) {
+	cm := c.cost
+	if cm == nil {
+		return
+	}
+	if rank == 0 {
+		fn(cm)
+	}
+	if c.g > 1 {
+		c.barrier.Wait()
+	}
+}
+
+// AttachCost wires the hierarchy's communicators to the cluster's clocks
+// with topology-aware link costs: every intra-group communicator charges
+// the intra-node (PCIe) link, the leaders' communicator charges the
+// inter-node (InfiniBand) link — the Table II fabric assignment. clocks is
+// indexed by global rank and must cover all G ranks.
+func (h *Hierarchy) AttachCost(intra, inter perfmodel.LinkCost, clocks []*vclock.Clock) {
+	if len(clocks) != h.G {
+		panic(fmt.Sprintf("collective: hierarchy cost model has %d clocks for %d ranks", len(clocks), h.G))
+	}
+	for i, grp := range h.groups {
+		base := i * h.GroupSize
+		h.groups[i].AttachCost(&CostModel{
+			Link:   intra,
+			Clocks: clocks[base : base+grp.Size()],
+		})
+	}
+	lead := make([]*vclock.Clock, h.leaders.Size())
+	for i := range lead {
+		lead[i] = clocks[i*h.GroupSize]
+	}
+	h.leaders.AttachCost(&CostModel{Link: inter, Clocks: lead})
+}

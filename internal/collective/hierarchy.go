@@ -113,6 +113,9 @@ func (c *Comm) BroadcastInts(rank, root int, x []int) []int {
 	}
 	c.mu.Unlock()
 	c.barrier.Wait()
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.TreeBroadcastSeconds(c.g, int64(4*len(out))))
+	})
 	return out
 }
 
@@ -137,5 +140,8 @@ func (c *Comm) BroadcastFloatsVar(rank, root int, x []float32) []float32 {
 	}
 	c.mu.Unlock()
 	c.barrier.Wait()
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.TreeBroadcastSeconds(c.g, int64(4*len(out))))
+	})
 	return out
 }

@@ -28,6 +28,7 @@ func (BaselineAllGather) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, err
 
 	stats := Stats{Tokens: k}
 	before := ctx.Comm.SyncStats(ctx.Rank)
+	simBefore := ctx.simNow()
 
 	// Scratch: G dense gradient blocks land on this rank (§II-B: "the
 	// ALLGATHER operation requires Θ(G×K×D) local memory to hold G
@@ -71,6 +72,7 @@ func (BaselineAllGather) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, err
 	stats.UniqueLocal = countUnique(grad.Indices)
 	stats.UniqueGlobal = len(order)
 	stats.WireBytes = ctx.Comm.SyncStats(ctx.Rank).Sub(before).Total()
+	stats.SimSeconds = ctx.simNow() - simBefore
 	return Update{Indices: order, Rows: acc}, stats, nil
 }
 

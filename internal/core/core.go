@@ -96,6 +96,11 @@ type Stats struct {
 	WireBytes int64
 	// ScratchBytes is the peak scratch memory the exchange allocated.
 	ScratchBytes int64
+	// SimSeconds is the simulated duration of the exchange on this rank's
+	// virtual clock: the time the collectives (priced by the
+	// communicator's CostModel) advanced it while the exchange ran. Zero
+	// when no device/cost model is attached.
+	SimSeconds float64
 }
 
 // Ctx carries the per-rank execution environment of an exchange.
@@ -192,6 +197,16 @@ type Exchanger interface {
 	// Exchange combines grad with every other rank's gradient and returns
 	// the identical global Update on every rank.
 	Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, error)
+}
+
+// simNow returns the rank's current virtual time, or 0 when the context has
+// no device clock. Engines difference it around their collectives to fill
+// Stats.SimSeconds.
+func (ctx *Ctx) simNow() float64 {
+	if ctx.Dev == nil || ctx.Dev.Clock == nil {
+		return 0
+	}
+	return ctx.Dev.Clock.Now()
 }
 
 // alloc charges the device (if any) and returns a release func.

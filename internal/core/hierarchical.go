@@ -47,6 +47,7 @@ func (h HierarchicalExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats
 	}
 	d := grad.Rows.Cols
 	stats := Stats{Tokens: len(grad.Indices)}
+	simBefore := ctx.simNow()
 
 	group := h.Hier.Group(ctx.Rank)
 	_, groupRank := h.Hier.GroupOf(ctx.Rank)
@@ -111,6 +112,7 @@ func (h HierarchicalExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats
 		wire += leaders.SyncStats(groupID).Sub(beforeLead).Total()
 	}
 	stats.WireBytes = wire
+	stats.SimSeconds = ctx.simNow() - simBefore
 	stats.ScratchBytes = int64(len(localIdx))*int64(d)*4 +
 		int64(group.Size())*int64(len(grad.Indices))*4 +
 		int64(len(nodeIdx))*int64(d)*4 +

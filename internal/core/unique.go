@@ -24,6 +24,7 @@ func (UniqueExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, error)
 	d := grad.Rows.Cols
 	stats := Stats{Tokens: k}
 	before := ctx.Comm.SyncStats(ctx.Rank)
+	simBefore := ctx.simNow()
 
 	// Steps 1–2: locally unique indices Ĵ and locally reduced gradients Δ̂
 	// (U_i × D). Both live in per-rank workspace scratch when available.
@@ -72,6 +73,7 @@ func (UniqueExchange) Exchange(ctx *Ctx, grad SparseGrad) (Update, Stats, error)
 
 	// Step 7 is the caller's Update.Apply: conflict-free, one row per word.
 	stats.WireBytes = ctx.Comm.SyncStats(ctx.Rank).Sub(before).Total()
+	stats.SimSeconds = ctx.simNow() - simBefore
 	// Peak scratch: local reduced + gathered indices + M, all live at the
 	// ALLREDUCE.
 	stats.ScratchBytes = int64(len(localIdx))*int64(d)*4 + int64(g)*int64(k)*4 + int64(ug)*int64(d)*4

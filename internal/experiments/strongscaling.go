@@ -1,3 +1,7 @@
+// This file regenerates the paper's *strong-scaling* tables (III/IV): fixed
+// dataset, growing cluster, epoch hours dropping with G. The weak-scaling
+// counterpart — fixed per-rank work, the online virtual-clock experiment —
+// lives in weakscale.go.
 package experiments
 
 import (

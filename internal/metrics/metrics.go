@@ -66,6 +66,25 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, row)
 }
 
+// Headers returns the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// Rows returns a copy of the accumulated rows, each padded to the header
+// count — the machine-readable view the -json experiment output uses.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		cp := make([]string, len(row))
+		copy(cp, row)
+		out[i] = cp
+	}
+	return out
+}
+
 // AddRowf formats each cell with fmt.Sprint.
 func (t *Table) AddRowf(cells ...interface{}) {
 	s := make([]string, len(cells))

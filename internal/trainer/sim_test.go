@@ -1,0 +1,167 @@
+package trainer
+
+import (
+	"testing"
+
+	"zipflm/internal/collective"
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
+	"zipflm/internal/model"
+	"zipflm/internal/perfmodel"
+	"zipflm/internal/sampling"
+)
+
+// simConfig builds a small distributed run with the virtual clock threaded
+// through it.
+func simConfig(hw *perfmodel.Hardware) (Config, []int, []int) {
+	gen := corpus.NewGenerator(corpus.GeneratorConfig{
+		VocabSize:    499,
+		ZipfExponent: 1.1,
+		Seed:         3,
+	})
+	stream := gen.Stream(9000)
+	train, valid := corpus.Split(stream, 20, 100, 3)
+	cfg := Config{
+		Model:           model.Config{Vocab: 500, Dim: 16, Hidden: 24, RNN: model.KindLSTM, Sampled: 32},
+		Ranks:           4,
+		BatchPerRank:    2,
+		SeqLen:          8,
+		LR:              0.1,
+		Exchange:        core.UniqueExchange{},
+		SeedStrategy:    sampling.ZipfFreq,
+		BaseSeed:        3,
+		Hardware:        hw,
+		SimFLOPsPerStep: 1e9,
+		SimAchievedFrac: 0.4,
+	}
+	return cfg, train, valid
+}
+
+// TestSimulatedStepTime: with Config.Hardware set, a run reports a positive
+// compute/sync virtual-time split, the trainer's clock equals their sum,
+// and the prediction is bit-reproducible across identical runs.
+func TestSimulatedStepTime(t *testing.T) {
+	hw := perfmodel.TitanX()
+	run := func() (Result, float64) {
+		cfg, train, valid := simConfig(&hw)
+		tr, err := New(cfg, train, valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ReplicasInSync(); err != nil {
+			t.Fatal(err)
+		}
+		return res, tr.SimSeconds()
+	}
+	res, total := run()
+	if res.Stats.SimComputeSeconds <= 0 {
+		t.Errorf("SimComputeSeconds = %v, want > 0", res.Stats.SimComputeSeconds)
+	}
+	if res.Stats.SimSyncSeconds <= 0 {
+		t.Errorf("SimSyncSeconds = %v, want > 0", res.Stats.SimSyncSeconds)
+	}
+	if res.Stats.SimStepSeconds() <= 0 {
+		t.Errorf("SimStepSeconds = %v, want > 0", res.Stats.SimStepSeconds())
+	}
+	sum := res.Stats.SimComputeSeconds + res.Stats.SimSyncSeconds
+	if diff := total - sum; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("trainer clock %v != compute %v + sync %v",
+			total, res.Stats.SimComputeSeconds, res.Stats.SimSyncSeconds)
+	}
+	// The compute charge is exact: steps × FLOPs ÷ (peak × frac).
+	wantCompute := float64(res.Stats.Steps) * hw.ComputeSeconds(1e9, 0.4)
+	if diff := res.Stats.SimComputeSeconds - wantCompute; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("SimComputeSeconds = %v, want %v", res.Stats.SimComputeSeconds, wantCompute)
+	}
+
+	res2, total2 := run()
+	if total != total2 ||
+		res.Stats.SimComputeSeconds != res2.Stats.SimComputeSeconds ||
+		res.Stats.SimSyncSeconds != res2.Stats.SimSyncSeconds {
+		t.Errorf("virtual time not reproducible: (%v, %v, %v) vs (%v, %v, %v)",
+			total, res.Stats.SimComputeSeconds, res.Stats.SimSyncSeconds,
+			total2, res2.Stats.SimComputeSeconds, res2.Stats.SimSyncSeconds)
+	}
+}
+
+// TestSimHierarchicalExchangePriced: with a hierarchical exchange, the
+// hierarchy's group/leaders communicators must be cost-attached too, so
+// the sparse exchange's traffic shows up in predicted sync time instead of
+// silently reading as free.
+func TestSimHierarchicalExchangePriced(t *testing.T) {
+	hw := perfmodel.TitanX()
+	cfg, train, valid := simConfig(&hw)
+	hier := collective.NewHierarchy(cfg.Ranks, 2)
+	cfg.Exchange = core.HierarchicalExchange{Hier: hier}
+	tr, err := New(cfg, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Group(0).Cost() == nil || hier.Leaders().Cost() == nil {
+		t.Fatal("hierarchy communicators not cost-attached")
+	}
+	res, err := tr.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ReplicasInSync(); err != nil {
+		t.Fatal(err)
+	}
+	// The flat run's sync time is dominated by the same dense reductions;
+	// the hierarchical run must report comparable (non-trivial) sync
+	// time, not a near-zero one.
+	if res.Stats.SimSyncSeconds <= 0 {
+		t.Errorf("hierarchical exchange reported no predicted sync time")
+	}
+	flatCfg, ftrain, fvalid := simConfig(&hw)
+	ftr, err := New(flatCfg, ftrain, fvalid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := ftr.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SimSyncSeconds < fres.Stats.SimSyncSeconds/2 {
+		t.Errorf("hierarchical predicted sync %.3g implausibly below flat %.3g",
+			res.Stats.SimSyncSeconds, fres.Stats.SimSyncSeconds)
+	}
+}
+
+// TestSimRejectsOverlap: the virtual clock cannot price async buckets, so
+// the combination must be refused rather than reporting dense
+// communication as free.
+func TestSimRejectsOverlap(t *testing.T) {
+	hw := perfmodel.TitanX()
+	cfg, train, valid := simConfig(&hw)
+	cfg.Overlap = true
+	if _, err := New(cfg, train, valid); err == nil {
+		t.Fatal("New must reject Hardware + Overlap")
+	}
+}
+
+// TestSimOffLeavesZeroes: the default configuration must not touch the
+// virtual clock (pay-for-what-you-use).
+func TestSimOffLeavesZeroes(t *testing.T) {
+	cfg, train, valid := simConfig(nil)
+	cfg.SimFLOPsPerStep = 0
+	tr, err := New(cfg, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SimComputeSeconds != 0 || res.Stats.SimSyncSeconds != 0 || tr.SimSeconds() != 0 {
+		t.Errorf("clock moved without Hardware: compute %v sync %v total %v",
+			res.Stats.SimComputeSeconds, res.Stats.SimSyncSeconds, tr.SimSeconds())
+	}
+	if tr.Comm().Cost() != nil {
+		t.Error("cost model attached without Hardware")
+	}
+}

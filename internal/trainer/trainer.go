@@ -31,6 +31,7 @@ import (
 	"zipflm/internal/metrics"
 	"zipflm/internal/model"
 	"zipflm/internal/optim"
+	"zipflm/internal/perfmodel"
 	"zipflm/internal/sampling"
 	"zipflm/internal/tensor"
 )
@@ -85,6 +86,25 @@ type Config struct {
 	// (collective.DefaultBucketBytes when 0). Only meaningful with
 	// Overlap.
 	BucketBytes int64
+	// Hardware, when non-nil, threads the virtual clock through the run:
+	// every synchronous collective advances the participating ranks'
+	// clocks by α + bytes/β on the profile's ring link, per-step compute
+	// advances each rank by SimFLOPsPerStep ÷ achieved FLOP/s, and the
+	// embedding updates advance by their read-modify-write bytes ÷ MemBW.
+	// StepStats then carries the predicted wall-clock decomposition next
+	// to the measured one. nil (the default) leaves every hot path on the
+	// exact pre-simulation code path. The clock prices synchronous
+	// collectives only, so New rejects Hardware combined with Overlap
+	// (async buckets bypass the cost model and would read as free).
+	Hardware *perfmodel.Hardware
+	// SimFLOPsPerStep is the modeled per-rank compute per step charged to
+	// the virtual clock (0 = communication/update-only simulation). Only
+	// meaningful with Hardware.
+	SimFLOPsPerStep float64
+	// SimAchievedFrac is the fraction of peak FLOP/s the model's kernels
+	// reach (paper §V: 0.40 word LM, 0.64 char LM); ≤ 0 means peak. Only
+	// meaningful with Hardware.
+	SimAchievedFrac float64
 }
 
 // EvalPoint is one validation measurement.
@@ -114,6 +134,12 @@ type StepStats struct {
 	// decomposition perfmodel applies to the paper's hardware.
 	ComputeTime time.Duration
 	SyncTime    time.Duration
+	// SimComputeSeconds / SimSyncSeconds are the virtual-clock counterpart
+	// of ComputeTime / SyncTime: predicted seconds on Config.Hardware,
+	// split the same way (compute phase vs collectives + embedding
+	// update). Zero unless Config.Hardware is set.
+	SimComputeSeconds float64
+	SimSyncSeconds    float64
 }
 
 // AvgInputUnique returns the mean per-step global unique word count seen by
@@ -131,6 +157,15 @@ func (s StepStats) AvgOutputUnique() float64 {
 		return 0
 	}
 	return float64(s.OutputUniqueGlobal) / float64(s.Steps)
+}
+
+// SimStepSeconds returns the predicted wall-clock of one step — the
+// virtual-clock total divided by steps. Zero without Config.Hardware.
+func (s StepStats) SimStepSeconds() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return (s.SimComputeSeconds + s.SimSyncSeconds) / float64(s.Steps)
 }
 
 // Result is what a training run returns.
@@ -196,6 +231,31 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	}
 	if cfg.BucketBytes > 0 {
 		t.comm.SetBucketBytes(cfg.BucketBytes)
+	}
+	if cfg.Hardware != nil {
+		if cfg.Overlap {
+			// The virtual clock prices synchronous collectives only;
+			// async buckets complete at scheduler-dependent times and
+			// deliberately bypass the cost model (collective.CostModel),
+			// so a combined run would report dense communication as free.
+			return nil, fmt.Errorf("trainer: Hardware (virtual clock) cannot price Overlap mode; run the simulation synchronously")
+		}
+		// Thread the virtual clock: the flat communicator's ring runs on
+		// PCIe while the cluster fits in one node, on the InfiniBand
+		// boundary once it spans nodes (Table II).
+		t.comm.AttachCost(&collective.CostModel{
+			Link:   cfg.Hardware.RingLink(cfg.Ranks),
+			Clocks: t.clu.Clocks(),
+		})
+		// A hierarchical exchange routes its collectives through the
+		// hierarchy's own communicators; price them with the topology's
+		// fabric split (groups on PCIe, leaders on InfiniBand).
+		if hx, ok := cfg.Exchange.(core.HierarchicalExchange); ok && hx.Hier != nil {
+			if hx.Hier.G != cfg.Ranks {
+				return nil, fmt.Errorf("trainer: hierarchy spans %d ranks but cluster has %d", hx.Hier.G, cfg.Ranks)
+			}
+			hx.Hier.AttachCost(cfg.Hardware.IntraLink(), cfg.Hardware.InterLink(), t.clu.Clocks())
+		}
 	}
 	t.ws = make([]*core.Workspace, cfg.Ranks)
 	for r := range t.ws {
@@ -307,6 +367,10 @@ func (t *Trainer) Comm() *collective.Comm { return t.comm }
 // Cluster exposes the device accountants.
 func (t *Trainer) Cluster() *cluster.Cluster { return t.clu }
 
+// SimSeconds returns the run's predicted wall-clock so far: the latest
+// virtual time across ranks. Zero unless Config.Hardware is set.
+func (t *Trainer) SimSeconds() float64 { return t.clu.MaxClock() }
+
 // Run trains for the given number of epochs, validating evalsPerEpoch times
 // per epoch (at least once, at each epoch end). It returns the evaluation
 // trace and aggregated exchange statistics.
@@ -342,6 +406,8 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 		res.Stats.OutputUniqueGlobal += int64(stats.outUnique)
 		res.Stats.ComputeTime += stats.computeTime
 		res.Stats.SyncTime += stats.syncTime
+		res.Stats.SimComputeSeconds += stats.simCompute
+		res.Stats.SimSyncSeconds += stats.simSync
 
 		// Validate on the periodic schedule, plus once at the very end
 		// unless a periodic eval just happened.
@@ -382,6 +448,7 @@ func (t *Trainer) Steps(n int) error {
 type stepStats struct {
 	inUnique, outUnique   int
 	computeTime, syncTime time.Duration
+	simCompute, simSync   float64
 }
 
 // trainStep executes one synchronous step across all ranks.
@@ -401,6 +468,12 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	samplers := make([]sampling.CandidateSampler, g)
 	pendings := make([][]*collective.Pending, g)
 	var agg stepStats
+
+	sim := t.cfg.Hardware
+	var simStart float64
+	if sim != nil {
+		simStart = t.clu.MaxClock()
+	}
 
 	// Phase 1 (parallel): forward/backward on every rank, with dense
 	// reductions streaming out mid-backprop in Overlap mode.
@@ -437,12 +510,22 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 			}
 		}
 		results[rank] = m.ForwardBackwardHooked(inputs, targets, sampler, hook)
+		if sim != nil && t.cfg.SimFLOPsPerStep > 0 {
+			// The forward/backward pass: modeled FLOPs at the workload's
+			// achieved fraction of peak, charged to this rank's clock.
+			dev.AdvanceCompute(int64(t.cfg.SimFLOPsPerStep), *sim, t.cfg.SimAchievedFrac)
+		}
 		return nil
 	})
 	if err != nil {
 		return agg, err
 	}
 	agg.computeTime = time.Since(phaseStart)
+	var simAfterCompute float64
+	if sim != nil {
+		simAfterCompute = t.clu.MaxClock()
+		agg.simCompute = simAfterCompute - simStart
+	}
 	phaseStart = time.Now()
 
 	// Phase 2 (parallel): synchronize and update.
@@ -532,6 +615,18 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 			core.Update{Indices: outGrad.Indices, Rows: outGrad.Rows}.
 				Apply(m.OutEmb, -lr)
 		}
+		if sim != nil {
+			// Embedding updates are a read-modify-write over the touched
+			// rows: 2× row bytes of device-memory traffic (§III-A's
+			// conflict-free update runs at full memory bandwidth).
+			b := 2 * int64(len(upd.Indices)) * int64(m.InEmb.Cols) * 4
+			if !outDense {
+				b += 2 * int64(len(updOut.Indices)) * int64(m.OutEmb.Cols) * 4
+			} else {
+				b += 2 * int64(len(outGrad.Indices)) * int64(m.OutEmb.Cols) * 4
+			}
+			dev.AdvanceMemory(b, *sim)
+		}
 		return nil
 	})
 	for _, e := range errs {
@@ -550,6 +645,9 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	agg.inUnique = inStats[0].UniqueGlobal
 	agg.outUnique = outStats[0].UniqueGlobal
 	agg.syncTime = time.Since(phaseStart)
+	if sim != nil {
+		agg.simSync = t.clu.MaxClock() - simAfterCompute
+	}
 	return agg, nil
 }
 

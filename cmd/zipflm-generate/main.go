@@ -5,7 +5,8 @@
 //
 //	zipflm-train -input book.txt -save model.ckpt -save-vocab vocab.ckpt ...
 //	zipflm-generate -model model.ckpt -vocab vocab.ckpt -prompt "the cat" -n 30
-//	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -temperature 0.8
+//	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -temperature 0.8 -topk 40
+//	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -topp 0.9
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"zipflm/internal/corpus"
 	"zipflm/internal/model"
 	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 		promptIDs = flag.String("prompt-ids", "", "comma-separated token ids as the prompt")
 		n         = flag.Int("n", 40, "tokens to generate")
 		temp      = flag.Float64("temperature", 1.0, "sampling temperature (0 = greedy)")
+		topK      = flag.Int("topk", 0, "restrict sampling to the K most probable tokens (0 = off)")
+		topP      = flag.Float64("topp", 0, "nucleus sampling mass in (0,1) (0 = off)")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
 	)
 	flag.Parse()
@@ -67,7 +71,11 @@ func main() {
 		fatal(err)
 	}
 
-	out := m.Generate(ids, *n, *temp, rng.New(*seed))
+	opts := sampling.DecodeOpts{Temperature: *temp, TopK: *topK, TopP: *topP}
+	if err := opts.Validate(); err != nil {
+		fatal(err)
+	}
+	out := m.GenerateOpts(ids, *n, opts, rng.New(*seed))
 	if vocab != nil {
 		words := make([]string, len(out))
 		for i, id := range out {

@@ -1,0 +1,257 @@
+// Command zipflm-serve exposes a checkpoint as a batched-inference HTTP
+// service (internal/serve): dynamic batching over per-worker replicas,
+// bounded-queue admission control, and Zipf-aware result/prefix caches.
+//
+// Usage:
+//
+//	zipflm-train -input book.txt -save model.ckpt -save-vocab vocab.ckpt ...
+//	zipflm-serve -model model.ckpt -vocab vocab.ckpt -addr :8080
+//	curl -s localhost:8080/v1/generate -d '{"prompt":"the cat","n":24,"temperature":0.8,"seed":7}'
+//	curl -s localhost:8080/v1/stats
+//
+// With -loadgen N the command skips HTTP entirely and drives the server
+// in-process with the closed-loop Zipf load generator, printing the
+// resulting throughput/latency/cache table — the quickest way to see the
+// serving layer work.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"zipflm/internal/corpus"
+	"zipflm/internal/metrics"
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+	"zipflm/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model checkpoint (required)")
+		vocabPath = flag.String("vocab", "", "vocabulary file (enables text prompts and word responses)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 1, "model replicas (one batcher each)")
+		maxBatch  = flag.Int("max-batch", 16, "max sequences per batched step")
+		queue     = flag.Int("queue", 64, "admission queue depth (full queue sheds)")
+		cache     = flag.Int("cache", 1024, "result cache entries (0 disables)")
+		prefixes  = flag.Int("prefix-cache", 256, "prefix cache entries (0 disables)")
+		window    = flag.Duration("batch-window", 0, "linger this long assembling a fresh batch")
+		loadN     = flag.Int("loadgen", 0, "run N closed-loop requests in-process instead of serving HTTP")
+		clients   = flag.Int("clients", 8, "loadgen concurrency")
+		tokens    = flag.Int("tokens", 24, "loadgen tokens per request")
+		zipfS     = flag.Float64("zipf", 1.1, "loadgen prompt-popularity exponent")
+		seed      = flag.Uint64("seed", 42, "loadgen seed")
+	)
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "zipflm-serve: -model is required")
+		os.Exit(1)
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := model.Load(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var vocab *corpus.Vocabulary
+	if *vocabPath != "" {
+		vf, err := os.Open(*vocabPath)
+		if err != nil {
+			fatal(err)
+		}
+		vocab, err = corpus.LoadVocabulary(vf)
+		vf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if vocab.Size() != m.Cfg.Vocab {
+			fatal(fmt.Errorf("vocabulary size %d does not match model vocabulary %d", vocab.Size(), m.Cfg.Vocab))
+		}
+	}
+
+	srv := serve.New(m, serve.Config{
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		PrefixEntries: *prefixes,
+		BatchWindow:   *window,
+	})
+	defer srv.Close()
+
+	if *loadN > 0 {
+		runLoadgen(srv, m, *loadN, *clients, *tokens, *zipfS, *seed)
+		return
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(statsJSON(srv.Stats()))
+	})
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		handleGenerate(w, r, srv, m, vocab)
+	})
+
+	fmt.Fprintf(os.Stderr, "zipflm-serve: listening on %s (vocab %d, %d workers × batch %d, queue %d)\n",
+		*addr, m.Cfg.Vocab, *workers, *maxBatch, *queue)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+// genRequest is the /v1/generate request body.
+type genRequest struct {
+	Prompt      string  `json:"prompt,omitempty"`
+	PromptIDs   []int   `json:"prompt_ids,omitempty"`
+	N           int     `json:"n"`
+	Temperature float64 `json:"temperature"`
+	TopK        int     `json:"top_k,omitempty"`
+	TopP        float64 `json:"top_p,omitempty"`
+	Seed        uint64  `json:"seed"`
+	TimeoutMS   int     `json:"timeout_ms,omitempty"`
+}
+
+// genResponse is the /v1/generate response body.
+type genResponse struct {
+	Tokens    []int  `json:"tokens"`
+	Text      string `json:"text,omitempty"`
+	CacheHit  bool   `json:"cache_hit"`
+	PrefixHit bool   `json:"prefix_hit"`
+	LatencyMS int64  `json:"latency_ms"`
+}
+
+func handleGenerate(w http.ResponseWriter, r *http.Request, srv *serve.Server, m *model.LM, vocab *corpus.Vocabulary) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var in genRequest
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	prompt := in.PromptIDs
+	if in.Prompt != "" {
+		if vocab == nil {
+			http.Error(w, "text prompt needs the server started with -vocab; use prompt_ids", http.StatusBadRequest)
+			return
+		}
+		prompt = vocab.Encode(corpus.Tokenize(in.Prompt))
+	}
+	if in.N == 0 {
+		in.N = 24
+	}
+	req := serve.Request{
+		Prompt: prompt,
+		N:      in.N,
+		Opts:   sampling.DecodeOpts{Temperature: in.Temperature, TopK: in.TopK, TopP: in.TopP},
+		Seed:   in.Seed,
+	}
+	if in.TimeoutMS > 0 {
+		req.Deadline = time.Now().Add(time.Duration(in.TimeoutMS) * time.Millisecond)
+	}
+
+	res, err := srv.Submit(req)
+	switch {
+	case err == nil:
+	case err == serve.ErrOverloaded:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err == serve.ErrDeadlineExceeded:
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case err == serve.ErrShutdown:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	out := genResponse{
+		Tokens:    res.Tokens,
+		CacheHit:  res.CacheHit,
+		PrefixHit: res.PrefixHit,
+		LatencyMS: res.Latency.Milliseconds(),
+	}
+	if vocab != nil {
+		words := make([]string, len(res.Tokens))
+		for i, id := range res.Tokens {
+			words[i] = vocab.Word(id)
+		}
+		out.Text = strings.Join(words, " ")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// statsJSON flattens a Snapshot for the /v1/stats endpoint.
+func statsJSON(s serve.Snapshot) map[string]any {
+	return map[string]any{
+		"uptime_s":        s.Uptime.Seconds(),
+		"accepted":        s.Accepted,
+		"completed":       s.Completed,
+		"shed":            s.Shed,
+		"expired":         s.Expired,
+		"tokens":          s.Tokens,
+		"latency_p50_ms":  float64(s.LatencyP50) / float64(time.Millisecond),
+		"latency_p99_ms":  float64(s.LatencyP99) / float64(time.Millisecond),
+		"latency_mean_ms": float64(s.LatencyMean) / float64(time.Millisecond),
+		"mean_batch":      s.MeanBatch,
+		"batch_dist":      s.BatchDist,
+		"result_hits":     s.ResultHits,
+		"result_misses":   s.ResultMisses,
+		"result_entries":  s.ResultEntries,
+		"prefix_hits":     s.PrefixHits,
+		"prefix_misses":   s.PrefixMisses,
+		"prefix_entries":  s.PrefixEntries,
+		"hit_rate":        s.HitRate(),
+	}
+}
+
+// runLoadgen drives the server in-process and prints the serving table.
+func runLoadgen(srv *serve.Server, m *model.LM, requests, clients, tokens int, zipfS float64, seed uint64) {
+	rep := serve.RunLoad(srv, serve.LoadConfig{
+		Clients:  clients,
+		Requests: requests,
+		Vocab:    m.Cfg.Vocab,
+		Tokens:   tokens,
+		ZipfS:    zipfS,
+		Opts:     sampling.DecodeOpts{Temperature: 0.8},
+		Seed:     seed,
+	})
+	snap := srv.Stats()
+	tab := metrics.NewTable(fmt.Sprintf("Closed-loop load: %d requests, %d clients:", requests, clients),
+		"completed", "shed", "tok/s", "req/s", "p50 ms", "p99 ms", "mean batch", "hit rate")
+	tab.AddRow(
+		fmt.Sprintf("%d", rep.Completed),
+		fmt.Sprintf("%d", rep.Shed+rep.Expired),
+		fmt.Sprintf("%.0f", rep.TokensPerSecond()),
+		fmt.Sprintf("%.1f", rep.RequestsPerSecond()),
+		fmt.Sprintf("%.2f", float64(snap.LatencyP50)/float64(time.Millisecond)),
+		fmt.Sprintf("%.2f", float64(snap.LatencyP99)/float64(time.Millisecond)),
+		fmt.Sprintf("%.2f", snap.MeanBatch),
+		fmt.Sprintf("%.0f%%", 100*snap.HitRate()),
+	)
+	fmt.Print(tab)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zipflm-serve: %v\n", err)
+	os.Exit(1)
+}

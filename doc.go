@@ -41,4 +41,21 @@
 // The "overlap" experiment (zipflm-bench -exp overlap) and the
 // BenchmarkStep* benchmarks in bench_test.go measure what this buys per
 // training step.
+//
+// # Serving layer: dynamic batching, admission control, Zipf caching
+//
+// internal/serve turns the trained models into a production-shaped
+// inference service (cmd/zipflm-serve): per-worker replicas run a
+// continuous dynamic batcher over model.Stepper — a zero-allocation
+// batched generation path whose rows are computed independently, so every
+// response is bit-identical to sequential model.Generate for the same
+// request seed regardless of batch composition. A bounded admission queue
+// sheds under overload instead of accumulating goroutines, deadlines are
+// enforced at service start, and two LRU caches exploit the Zipf shape of
+// request popularity: a result cache for exact repeats and a prefix cache
+// snapshotting post-prompt recurrent states. The "serving" experiment
+// (zipflm-bench -exp serving) drives it with a closed-loop Zipf load
+// generator and fits the issued load with internal/powerlaw; the
+// BenchmarkServe* benchmarks in internal/serve compare batched and
+// sequential throughput.
 package zipflm

@@ -11,7 +11,7 @@ import (
 func quickOpts() Options { return Options{Quick: true, Seed: 42} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-fp16", "abl-hier", "abl-sampler", "abl-seed", "bpc", "fig1", "fig5", "fig6", "fig7", "fig8", "mem", "overlap", "tab1", "tab3", "tab4", "tab5", "weakscale"}
+	want := []string{"abl-fp16", "abl-hier", "abl-sampler", "abl-seed", "bpc", "fig1", "fig5", "fig6", "fig7", "fig8", "mem", "overlap", "serving", "tab1", "tab3", "tab4", "tab5", "weakscale"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -349,6 +349,35 @@ func TestAblationsRun(t *testing.T) {
 	}
 	if !strings.Contains(seed.String(), "Zipf's-freq") {
 		t.Errorf("abl-seed missing strategies:\n%s", seed)
+	}
+}
+
+// TestServingExperiment is the serving smoke: the closed-loop Zipf load
+// must produce cache hits and shed nothing in the cached configuration —
+// the experiment flags violations of either invariant with a WARNING note,
+// so a clean run means the caching layer works and admission control never
+// dropped a closed-loop request.
+func TestServingExperiment(t *testing.T) {
+	rep, err := Run("serving", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows()) != 3 {
+		t.Fatalf("serving report malformed:\n%s", rep)
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("serving invariant violated: %s", n)
+		}
+	}
+	var sawFit bool
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "power law") {
+			sawFit = true
+		}
+	}
+	if !sawFit {
+		t.Error("serving report missing the power-law load fit")
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"zipflm/internal/rng"
-	"zipflm/internal/tensor"
+	"zipflm/internal/sampling"
 )
 
 // Generate samples a continuation of the prompt from the model: the prompt
@@ -14,14 +14,23 @@ import (
 // distribution, <1 sharper, >1 flatter; 0 = greedy argmax). Generation is
 // deterministic given r.
 //
-// The model's training state is untouched — generation snapshots and
-// restores the carried RNN state around itself.
+// The model's training state is untouched — inference runs on an explicit
+// GenState, never on the layers' carried training state.
 func (m *LM) Generate(prompt []int, n int, temperature float64, r *rng.RNG) []int {
+	return m.GenerateOpts(prompt, n, sampling.DecodeOpts{Temperature: temperature}, r)
+}
+
+// GenerateOpts is Generate with full decoding control (temperature plus
+// top-k and nucleus filtering). All scratch — the step matrices, the
+// decoder's sort buffers — is allocated once up front, so cost per token is
+// pure arithmetic: the allocation-flatness test guards that generating 10×
+// more tokens allocates no more objects.
+func (m *LM) GenerateOpts(prompt []int, n int, opts sampling.DecodeOpts, r *rng.RNG) []int {
 	if len(prompt) == 0 {
 		panic("model: Generate needs a non-empty prompt")
 	}
-	if temperature < 0 {
-		panic("model: negative temperature")
+	if err := opts.Validate(); err != nil {
+		panic("model: " + err.Error())
 	}
 	for _, id := range prompt {
 		if id < 0 || id >= m.Cfg.Vocab {
@@ -29,71 +38,29 @@ func (m *LM) Generate(prompt []int, n int, temperature float64, r *rng.RNG) []in
 		}
 	}
 
-	saved := m.rnn.SnapshotState()
-	m.rnn.SetCarry(true)
-	m.rnn.ResetState()
-	defer func() {
-		m.rnn.SetCarry(m.Cfg.Stateful)
-		m.rnn.RestoreState(saved)
-	}()
-
-	// step feeds one token and returns the next-token logits.
-	logits := make([]float32, m.Cfg.Vocab)
-	step := func(id int) []float32 {
-		x := tensor.NewMatrix(1, m.Cfg.Dim)
-		tensor.GatherRows(x, m.InEmb, []int{id})
-		h := m.rnn.Forward([]*tensor.Matrix{x})
-		p := m.proj.Forward(h[0])
-		m.proj.x = nil
-		out := tensor.NewMatrixFrom(1, m.Cfg.Vocab, logits)
-		tensor.MatMulABT(out, p, m.OutEmb)
-		return logits
-	}
+	st := m.NewStepper(1)
+	gs := m.NewGenState()
+	dec := sampling.NewDecoder(m.Cfg.Vocab)
+	states := []*GenState{gs}
+	id := make([]int, 1)
 
 	// Warm up on the prompt (the last call's logits feed the first draw).
 	var lg []float32
-	for _, id := range prompt {
-		lg = step(id)
+	for _, tok := range prompt {
+		id[0] = tok
+		lg = st.Step(id, states).Row(0)
 	}
 
 	out := make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		next := sampleLogits(lg, temperature, r)
+		next := dec.Sample(lg, opts, r)
 		out = append(out, next)
 		if i < n-1 {
-			lg = step(next)
+			id[0] = next
+			lg = st.Step(id, states).Row(0)
 		}
 	}
 	return out
-}
-
-// sampleLogits draws one index from softmax(logits/temperature); zero
-// temperature is argmax.
-func sampleLogits(logits []float32, temperature float64, r *rng.RNG) int {
-	if temperature == 0 {
-		bi, bv := 0, logits[0]
-		for i, v := range logits {
-			if v > bv {
-				bi, bv = i, v
-			}
-		}
-		return bi
-	}
-	scaled := make([]float32, len(logits))
-	inv := float32(1 / temperature)
-	for i, v := range logits {
-		scaled[i] = v * inv
-	}
-	tensor.SoftmaxRow(scaled)
-	u := r.Float64()
-	var cum float64
-	for i, p := range scaled {
-		cum += float64(p)
-		if u < cum {
-			return i
-		}
-	}
-	return len(scaled) - 1 // numerical tail
 }
 
 // Score returns the model's mean cross-entropy (nats/token) on a stream —

@@ -47,6 +47,16 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return y
 }
 
+// ForwardInto computes y = x Wᵀ + b into a caller-owned matrix without
+// caching x — the inference path, which must neither allocate nor disturb a
+// training step's backward state. Values are bit-identical to Forward's.
+func (l *Linear) ForwardInto(y, x *tensor.Matrix) {
+	tensor.MatMulABTStream(y, x, l.W)
+	for r := 0; r < y.Rows; r++ {
+		tensor.AddInPlace(y.Row(r), l.B)
+	}
+}
+
 // Backward consumes dLoss/dy, accumulates parameter gradients, and returns
 // dLoss/dx.
 func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {

@@ -191,6 +191,38 @@ func (l *LSTM) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 	return dxs
 }
 
+// stepInfer advances one inference timestep in place: x is the B×In input,
+// h and c the B×H recurrent state (updated to the new state), zx and zh B×4H
+// scratch. No backward caches are written and nothing is allocated, so the
+// serving hot loop can call it per token at zero cost beyond the math. The
+// per-element arithmetic is exactly Forward's (same float64 intermediate
+// precision, same order), and every row depends only on that row's input
+// and state, so a batched step is bit-identical to B independent
+// single-sequence steps.
+func (l *LSTM) stepInfer(x, h, c, zx, zh *tensor.Matrix) {
+	batch := x.Rows
+	hd := l.Hidden
+	tensor.MatMulABTStream(zx, x, l.Wx)
+	tensor.MatMulABTStream(zh, h, l.Wh)
+	for b := 0; b < batch; b++ {
+		zxr, zhr := zx.Row(b), zh.Row(b)
+		hr, cr := h.Row(b), c.Row(b)
+		for j := 0; j < hd; j++ {
+			zi := float64(zxr[j] + zhr[j] + l.B[j])
+			zf := float64(zxr[hd+j] + zhr[hd+j] + l.B[hd+j])
+			zg := float64(zxr[2*hd+j] + zhr[2*hd+j] + l.B[2*hd+j])
+			zo := float64(zxr[3*hd+j] + zhr[3*hd+j] + l.B[3*hd+j])
+			i := 1 / (1 + math.Exp(-zi))
+			f := 1 / (1 + math.Exp(-zf))
+			g := math.Tanh(zg)
+			o := 1 / (1 + math.Exp(-zo))
+			cNew := f*float64(cr[j]) + i*g
+			cr[j] = float32(cNew)
+			hr[j] = float32(o * math.Tanh(cNew))
+		}
+	}
+}
+
 // Params implements Layer.
 func (l *LSTM) Params() []Param {
 	return []Param{

@@ -1,0 +1,8 @@
+//go:build race
+
+package model
+
+// raceEnabled reports that this test binary was built with -race, under
+// which allocation guards are meaningless (the detector's instrumentation
+// allocates).
+const raceEnabled = true

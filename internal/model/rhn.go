@@ -235,6 +235,41 @@ func (l *RHN) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 	return dxs
 }
 
+// stepInfer advances one inference timestep in place: x is the B×In input,
+// s the B×H recurrent state (updated through all Depth micro-layers), and
+// zxh/zxt/zrh/zrt are B×H scratch. Like the LSTM counterpart it writes no
+// backward caches, allocates nothing, repeats Forward's arithmetic exactly,
+// and keeps every row independent so batched and single-sequence stepping
+// are bit-identical.
+func (l *RHN) stepInfer(x, s, zxh, zxt, zrh, zrt *tensor.Matrix) {
+	batch := x.Rows
+	h := l.Hidden
+	tensor.MatMulABTStream(zxh, x, l.Wh)
+	tensor.MatMulABTStream(zxt, x, l.Wt)
+	for d := 0; d < l.Depth; d++ {
+		tensor.MatMulABTStream(zrh, s, l.Rh[d])
+		tensor.MatMulABTStream(zrt, s, l.Rt[d])
+		for b := 0; b < batch; b++ {
+			var xh, xt []float32
+			if d == 0 {
+				xh, xt = zxh.Row(b), zxt.Row(b)
+			}
+			sr := s.Row(b)
+			for j := 0; j < h; j++ {
+				zh := float64(zrh.Row(b)[j] + l.Bh[d][j])
+				zt := float64(zrt.Row(b)[j] + l.Bt[d][j])
+				if d == 0 {
+					zh += float64(xh[j])
+					zt += float64(xt[j])
+				}
+				hv := math.Tanh(zh)
+				tv := 1 / (1 + math.Exp(-zt))
+				sr[j] = float32(hv*tv + float64(sr[j])*(1-tv))
+			}
+		}
+	}
+}
+
 // Params implements Layer.
 func (l *RHN) Params() []Param {
 	ps := []Param{

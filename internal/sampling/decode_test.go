@@ -1,0 +1,109 @@
+package sampling
+
+import (
+	"sort"
+	"testing"
+
+	"zipflm/internal/rng"
+)
+
+// TestTopKSelectionMatchesSort: the heap-based top-k candidate set must be
+// exactly the first k of a (logit desc, id asc) full sort, including under
+// heavy ties.
+func TestTopKSelectionMatchesSort(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		v := 20 + r.Intn(200)
+		logits := make([]float32, v)
+		for i := range logits {
+			logits[i] = float32(r.Intn(12)) * 0.25 // ties everywhere
+		}
+		k := 1 + r.Intn(v-1)
+
+		d := NewDecoder(v)
+		d.sampleTopK(logits, DecodeOpts{Temperature: 1, TopK: k}, rng.New(1))
+		got := append([]int(nil), d.idx[:k]...)
+		sort.Ints(got)
+
+		ref := make([]int, v)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if logits[ref[a]] != logits[ref[b]] {
+				return logits[ref[a]] > logits[ref[b]]
+			}
+			return ref[a] < ref[b]
+		})
+		want := append([]int(nil), ref[:k]...)
+		sort.Ints(want)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (v=%d k=%d): heap set %v != sort prefix %v", trial, v, k, got, want)
+			}
+		}
+	}
+}
+
+// TestSampleDeterministic: equal seeds draw equal tokens across every
+// decode mode; draws stay inside the candidate restriction.
+func TestSampleDeterministic(t *testing.T) {
+	r := rng.New(9)
+	const v = 64
+	logits := make([]float32, v)
+	for i := range logits {
+		logits[i] = float32(r.NormFloat64())
+	}
+	for _, opts := range []DecodeOpts{
+		{Temperature: 0},
+		{Temperature: 1},
+		{Temperature: 0.7, TopK: 8},
+		{Temperature: 0.7, TopP: 0.6},
+		{Temperature: 1.2, TopK: 16, TopP: 0.9},
+	} {
+		d := NewDecoder(v)
+		for trial := 0; trial < 20; trial++ {
+			a := d.Sample(logits, opts, rng.New(uint64(trial)))
+			b := NewDecoder(v).Sample(logits, opts, rng.New(uint64(trial)))
+			if a != b {
+				t.Fatalf("opts %+v trial %d: %d != %d across decoders", opts, trial, a, b)
+			}
+			if a < 0 || a >= v {
+				t.Fatalf("opts %+v drew out-of-range %d", opts, a)
+			}
+		}
+	}
+}
+
+// TestTopKRestrictsSupport: over many draws, only the top-k ids appear.
+func TestTopKRestrictsSupport(t *testing.T) {
+	const v, k = 32, 4
+	logits := make([]float32, v)
+	for i := range logits {
+		logits[i] = float32(v - i) // strictly decreasing: top-k = {0..k-1}
+	}
+	d := NewDecoder(v)
+	r := rng.New(5)
+	for trial := 0; trial < 200; trial++ {
+		got := d.Sample(logits, DecodeOpts{Temperature: 2, TopK: k}, r)
+		if got >= k {
+			t.Fatalf("top-%d draw returned id %d", k, got)
+		}
+	}
+}
+
+// TestTopPRestrictsSupport: a tiny nucleus over a peaked distribution keeps
+// draws at the head.
+func TestTopPRestrictsSupport(t *testing.T) {
+	const v = 32
+	logits := make([]float32, v)
+	logits[7] = 50 // ~all mass at id 7
+	d := NewDecoder(v)
+	r := rng.New(6)
+	for trial := 0; trial < 100; trial++ {
+		if got := d.Sample(logits, DecodeOpts{Temperature: 1, TopP: 0.5}, r); got != 7 {
+			t.Fatalf("nucleus draw escaped the head: %d", got)
+		}
+	}
+}

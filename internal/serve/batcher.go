@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"zipflm/internal/model"
+	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
+)
+
+// seq is one request in flight on a worker: its explicit recurrent state,
+// its private sampling RNG, and its progress. The feeding schedule mirrors
+// sequential model.Generate exactly — tokens fed are prompt[0..P-1] then
+// out[0..N-2], and one RNG variate is drawn per emitted token — so the
+// token stream is bit-identical to the sequential path by construction.
+type seq struct {
+	t     *task
+	state *model.GenState
+	r     *rng.RNG
+	fed   int   // tokens fed so far (prompt first, then own output)
+	out   []int // generated tokens
+}
+
+// nextInput returns the token this sequence feeds on the next step.
+func (q *seq) nextInput() int {
+	if q.fed < len(q.t.req.Prompt) {
+		return q.t.req.Prompt[q.fed]
+	}
+	return q.out[q.fed-len(q.t.req.Prompt)]
+}
+
+// worker owns one model replica and runs the continuous batching loop:
+// admit into free slots, step the whole batch one token, sample and retire,
+// repeat. Sequences join and leave at any step boundary, so a long request
+// never blocks a short one and fresh arrivals start mid-flight.
+type worker struct {
+	s       *Server
+	m       *model.LM
+	stepper *model.Stepper
+	dec     *sampling.Decoder
+	active  []*seq
+	ids     []int
+	states  []*model.GenState
+}
+
+func newWorker(s *Server, m *model.LM) *worker {
+	return &worker{
+		s:       s,
+		m:       m,
+		stepper: m.NewStepper(s.cfg.MaxBatch),
+		dec:     sampling.NewDecoder(m.Cfg.Vocab),
+		ids:     make([]int, s.cfg.MaxBatch),
+		states:  make([]*model.GenState, s.cfg.MaxBatch),
+	}
+}
+
+func (w *worker) loop() {
+	for {
+		if len(w.active) == 0 {
+			// Idle: block for work or shutdown.
+			select {
+			case t := <-w.s.queue:
+				w.admit(t)
+				w.coalesce()
+			case <-w.s.stop:
+				w.drain()
+				return
+			}
+		} else {
+			// Busy: top up free slots without blocking the batch. The
+			// explicit yield matters on few cores — steps are microseconds,
+			// so without it the batcher can starve the very submitters
+			// whose requests would fill the batch, and coalescing never
+			// happens.
+			runtime.Gosched()
+			select {
+			case <-w.s.stop:
+				w.drain()
+				return
+			default:
+			}
+			w.fill()
+		}
+		if len(w.active) > 0 {
+			w.step()
+		}
+	}
+}
+
+// fill admits queued tasks into free slots without waiting.
+func (w *worker) fill() {
+	for len(w.active) < w.s.cfg.MaxBatch {
+		select {
+		case t := <-w.s.queue:
+			w.admit(t)
+		default:
+			return
+		}
+	}
+}
+
+// coalesce optionally lingers up to BatchWindow after starting a fresh
+// batch, trading first-token latency for batch occupancy.
+func (w *worker) coalesce() {
+	if w.s.cfg.BatchWindow <= 0 {
+		w.fill()
+		return
+	}
+	timer := time.NewTimer(w.s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(w.active) < w.s.cfg.MaxBatch {
+		select {
+		case t := <-w.s.queue:
+			w.admit(t)
+		case <-timer.C:
+			return
+		case <-w.s.stop:
+			return
+		}
+	}
+}
+
+// admit turns a task into an active sequence — unless its deadline already
+// passed (deadline shedding) or the prefix cache lets it skip prefill (and
+// possibly complete instantly for N == 1).
+func (w *worker) admit(t *task) {
+	req := t.req
+	if !req.Deadline.IsZero() && time.Now().After(req.Deadline) {
+		w.s.stats.onShed(true)
+		t.done <- taskDone{err: ErrDeadlineExceeded}
+		return
+	}
+	w.s.stats.onAccept()
+
+	q := &seq{t: t, r: rng.New(req.Seed), out: make([]int, 0, req.N)}
+
+	if val, ok := w.prefixLookup(req.Prompt); ok {
+		// Hot prompt: restore the post-prompt state and draw the first
+		// token from the cached logits, exactly as the sequential path
+		// would after consuming the prompt.
+		pe := val.(*prefixEntry)
+		q.state = pe.state.Clone()
+		q.fed = len(req.Prompt)
+		t.prefix = true
+		q.out = append(q.out, w.dec.Sample(pe.logits, req.Opts, q.r))
+		if len(q.out) == req.N {
+			t.done <- taskDone{tokens: q.out}
+			return
+		}
+	} else {
+		q.state = w.m.NewGenState()
+	}
+	w.active = append(w.active, q)
+}
+
+// prefixLookup consults the prefix cache, skipping even the key build when
+// the cache is disabled (uncached configurations must not pay for cache
+// bookkeeping).
+func (w *worker) prefixLookup(prompt []int) (any, bool) {
+	if w.s.prefix == nil {
+		return nil, false
+	}
+	return w.s.prefix.get(prefixKey(prompt))
+}
+
+// step advances every active sequence one token: one batched forward, then
+// per-sequence sampling and retirement. Sequences whose deadline passed are
+// abandoned first — a dead caller must not keep occupying a batch slot.
+func (w *worker) step() {
+	w.expire(time.Now())
+	if len(w.active) == 0 {
+		return
+	}
+	b := len(w.active)
+	for i, q := range w.active {
+		w.ids[i] = q.nextInput()
+		w.states[i] = q.state
+	}
+	lg := w.stepper.Step(w.ids[:b], w.states[:b])
+	w.s.stats.onBatchStep(b)
+
+	n := 0
+	for i := 0; i < b; i++ {
+		q := w.active[i]
+		q.fed++
+		p := len(q.t.req.Prompt)
+		if q.fed >= p {
+			row := lg.Row(i)
+			if q.fed == p {
+				// Prompt just finished: snapshot for future requests
+				// sharing it (state and logits are copied, so later
+				// mutation of the live sequence cannot corrupt it).
+				if w.s.prefix != nil {
+					w.s.prefix.put(prefixKey(q.t.req.Prompt), &prefixEntry{
+						state:  q.state.Clone(),
+						logits: append([]float32(nil), row...),
+					})
+				}
+			}
+			q.out = append(q.out, w.dec.Sample(row, q.t.req.Opts, q.r))
+			if len(q.out) == q.t.req.N {
+				q.t.done <- taskDone{tokens: q.out}
+				continue // retire
+			}
+		}
+		w.active[n] = q
+		n++
+	}
+	for i := n; i < b; i++ {
+		w.active[i] = nil
+	}
+	w.active = w.active[:n]
+}
+
+// expire sheds active sequences whose deadline has passed (partial output
+// discarded).
+func (w *worker) expire(now time.Time) {
+	n := 0
+	for _, q := range w.active {
+		if d := q.t.req.Deadline; !d.IsZero() && now.After(d) {
+			w.s.stats.onShed(true)
+			q.t.done <- taskDone{err: ErrDeadlineExceeded}
+			continue
+		}
+		w.active[n] = q
+		n++
+	}
+	for i := n; i < len(w.active); i++ {
+		w.active[i] = nil
+	}
+	w.active = w.active[:n]
+}
+
+// drain fails everything this worker still holds; the server drains the
+// shared queue after all workers exit.
+func (w *worker) drain() {
+	for _, q := range w.active {
+		q.t.done <- taskDone{err: ErrShutdown}
+	}
+	w.active = w.active[:0]
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"testing"
+
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+)
+
+// The acceptance benchmark pair: the same model, the same closed-loop
+// workload, caches off — only the batch bound changes. Batched serving must
+// beat sequential single-stream tokens/s because every step streams the
+// V×D output embedding (and the recurrent weights) once for the whole
+// batch instead of once per sequence (tensor.MatMulABTStream).
+
+func benchModel() *model.LM {
+	return model.NewLM(model.Config{Vocab: 2000, Dim: 64, Hidden: 96, RNN: model.KindLSTM, Seed: 4})
+}
+
+func runServeBench(b *testing.B, maxBatch, clients int) {
+	m := benchModel()
+	s := New(m, Config{MaxBatch: maxBatch, QueueDepth: 2 * clients})
+	defer s.Close()
+	b.ResetTimer()
+	rep := RunLoad(s, LoadConfig{
+		Clients:    clients,
+		Requests:   b.N,
+		PromptPool: 1 << 20, // effectively no repeats: measure generation, not caching
+		Vocab:      m.Cfg.Vocab,
+		Tokens:     16,
+		Opts:       sampling.DecodeOpts{Temperature: 0.8},
+		Seed:       1,
+	})
+	b.StopTimer()
+	if rep.Completed != b.N {
+		b.Fatalf("completed %d of %d", rep.Completed, b.N)
+	}
+	b.ReportMetric(float64(rep.TokensOut)/b.Elapsed().Seconds(), "tok/s")
+	b.ReportMetric(s.Stats().MeanBatch, "batch")
+}
+
+// BenchmarkServeSequential is the single-stream baseline: one client, batch
+// bound 1 — exactly the old model.Generate serving shape.
+func BenchmarkServeSequential(b *testing.B) { runServeBench(b, 1, 1) }
+
+// BenchmarkServeBatched8 coalesces 8 closed-loop clients into batches of up
+// to 8.
+func BenchmarkServeBatched8(b *testing.B) { runServeBench(b, 8, 8) }
+
+// BenchmarkServeBatched16 doubles the pressure.
+func BenchmarkServeBatched16(b *testing.B) { runServeBench(b, 16, 16) }

@@ -1,0 +1,296 @@
+// Package serve is the batched inference serving layer: the production
+// shape behind the ROADMAP's "serve heavy traffic" goal, built on the same
+// Zipf insight the paper (conf_ipps_PatwaryCJHDC19) exploits for training.
+//
+// Architecture:
+//
+//   - A bounded admission queue with backpressure: when it is full,
+//     requests are shed immediately (ErrOverloaded) instead of piling up
+//     goroutines; requests whose deadline passes before service are shed
+//     with ErrDeadlineExceeded.
+//
+//   - Per-worker model replicas running a continuous dynamic batcher: each
+//     worker advances up to MaxBatch sequences per forward step through a
+//     model.Stepper, admitting new requests into free slots between steps
+//     and retiring finished ones, so ragged prompts and different lengths
+//     never stall the batch (no head-of-line blocking).
+//
+//   - Zipf-aware caching: an LRU result cache short-circuits repeated
+//     requests entirely, and an LRU prefix cache snapshots post-prompt
+//     recurrent states so repeated prompts skip prefill (see cache.go).
+//
+// The correctness contract, enforced by the tests: every response is
+// bit-identical to what sequential model.Generate would produce for that
+// request with the same per-request RNG seed, regardless of batch
+// composition, scheduling, or cache hits. This falls out of the model
+// layer's row-independence guarantee (model.Stepper) plus determinism of
+// the per-request sampling RNG.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+)
+
+var (
+	// ErrOverloaded: the admission queue was full (backpressure shed).
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrDeadlineExceeded: the request's deadline passed before a worker
+	// could start it.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before service")
+	// ErrShutdown: the server was closed before or during the request.
+	ErrShutdown = errors.New("serve: server closed")
+)
+
+// Request is one generation call.
+type Request struct {
+	// Prompt is the non-empty token-id prompt.
+	Prompt []int
+	// N is the number of tokens to generate (≥ 1).
+	N int
+	// Opts selects temperature / top-k / top-p decoding.
+	Opts sampling.DecodeOpts
+	// Seed seeds this request's private sampling RNG — the determinism
+	// handle: (Prompt, N, Opts, Seed) fully determines Tokens.
+	Seed uint64
+	// Deadline, when non-zero, bounds the request's lifetime: it is shed
+	// at admission if already past, and abandoned mid-generation at the
+	// first step boundary after it passes (partial output discarded) — a
+	// disconnected caller cannot wedge a batch slot.
+	Deadline time.Time
+}
+
+// Result is a completed generation.
+type Result struct {
+	// Tokens is the generated continuation (caller-owned copy).
+	Tokens []int
+	// CacheHit: served from the result cache without touching a worker.
+	CacheHit bool
+	// PrefixHit: prefill was skipped via the prefix cache.
+	PrefixHit bool
+	// Latency is submit-to-completion wall time.
+	Latency time.Duration
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the number of model replicas, each with its own batcher
+	// goroutine (default 1).
+	Workers int
+	// MaxBatch is the per-worker concurrent-sequence bound (default 8).
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue sheds
+	// (default 2 × Workers × MaxBatch).
+	QueueDepth int
+	// CacheEntries bounds the result cache; 0 disables it.
+	CacheEntries int
+	// PrefixEntries bounds the prefix cache; 0 disables it.
+	PrefixEntries int
+	// MaxTokens caps Request.N (default 4096): a batch slot is a scarce
+	// resource, so one request must not be able to hold it for an
+	// unbounded generation.
+	MaxTokens int
+	// MaxPromptLen caps prompt length (default 4096), bounding prefill
+	// work per request.
+	MaxPromptLen int
+	// BatchWindow, when positive, lets a worker starting a fresh batch
+	// wait up to this long for more arrivals to coalesce (0: step
+	// immediately with whatever is queued).
+	BatchWindow time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers * c.MaxBatch
+	}
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = 4096
+	}
+	if c.MaxPromptLen <= 0 {
+		c.MaxPromptLen = 4096
+	}
+	return c
+}
+
+// task is a queued request plus its completion channel.
+type task struct {
+	req    Request
+	prefix bool // served via prefix cache
+	done   chan taskDone
+}
+
+type taskDone struct {
+	tokens []int
+	err    error
+}
+
+// Server is the serving subsystem: admission queue, workers, caches, stats.
+type Server struct {
+	cfg     Config
+	queue   chan *task
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.RWMutex // guards closed + enqueue-vs-Close ordering
+	closed  bool
+	stats   *statsCollector
+	results *lruCache
+	prefix  *lruCache
+	workers []*worker
+}
+
+// New builds a Server over the given model. The model is cloned into one
+// replica per worker (the §II-B "replicas identical" invariant, now on the
+// serving side); the caller's model is not retained and stays free for
+// training or evaluation.
+func New(m *model.LM, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *task, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		stats:   newStatsCollector(cfg.MaxBatch),
+		results: newLRUCache(cfg.CacheEntries),
+		prefix:  newLRUCache(cfg.PrefixEntries),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		replica := model.NewLM(m.Cfg)
+		replica.CopyWeightsFrom(m)
+		w := newWorker(s, replica)
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.loop()
+		}()
+	}
+	return s
+}
+
+// validate rejects malformed requests before they cost anything.
+func (s *Server) validate(req Request, vocab int) error {
+	if len(req.Prompt) == 0 {
+		return errors.New("serve: empty prompt")
+	}
+	if len(req.Prompt) > s.cfg.MaxPromptLen {
+		return fmt.Errorf("serve: prompt length %d exceeds limit %d", len(req.Prompt), s.cfg.MaxPromptLen)
+	}
+	if req.N <= 0 {
+		return fmt.Errorf("serve: n must be positive, got %d", req.N)
+	}
+	if req.N > s.cfg.MaxTokens {
+		return fmt.Errorf("serve: n %d exceeds limit %d", req.N, s.cfg.MaxTokens)
+	}
+	for _, id := range req.Prompt {
+		if id < 0 || id >= vocab {
+			return fmt.Errorf("serve: prompt token %d outside vocabulary %d", id, vocab)
+		}
+	}
+	return req.Opts.Validate()
+}
+
+// Submit runs one request to completion (closed-loop callers block here).
+// It returns ErrOverloaded when the admission queue is full,
+// ErrDeadlineExceeded when the deadline passed before service, ErrShutdown
+// when the server closes mid-request, and validation errors verbatim.
+func (s *Server) Submit(req Request) (*Result, error) {
+	start := time.Now()
+	if err := s.validate(req, s.workers[0].m.Cfg.Vocab); err != nil {
+		return nil, err
+	}
+	// An already-expired deadline is shed before anything else — including
+	// the result cache, so callers see the same outcome for an expired
+	// request whether or not it happens to be hot.
+	if !req.Deadline.IsZero() && start.After(req.Deadline) {
+		s.stats.onShed(true)
+		return nil, ErrDeadlineExceeded
+	}
+
+	// Result-cache fast path: a hot request never touches a worker. With
+	// the cache disabled, skip the key construction too — the uncached
+	// configurations must not pay for bookkeeping they never use.
+	var key string
+	if s.results != nil {
+		key = resultKey(req.Prompt, req.N, req.Opts, req.Seed)
+		if val, ok := s.results.get(key); ok {
+			tokens := append([]int(nil), val.([]int)...)
+			lat := time.Since(start)
+			s.stats.onComplete(len(tokens), lat)
+			return &Result{Tokens: tokens, CacheHit: true, Latency: lat}, nil
+		}
+	}
+
+	t := &task{req: req, done: make(chan taskDone, 1)}
+
+	// Enqueue under the read lock so Close (write lock) can guarantee no
+	// task lands in the queue after the final drain.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrShutdown
+	}
+	select {
+	case s.queue <- t:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.stats.onShed(false)
+		return nil, ErrOverloaded
+	}
+
+	d := <-t.done
+	if d.err != nil {
+		return nil, d.err
+	}
+	lat := time.Since(start)
+	s.stats.onComplete(len(d.tokens), lat)
+	if s.results != nil {
+		s.results.put(key, d.tokens)
+	}
+	res := &Result{Tokens: append([]int(nil), d.tokens...), PrefixHit: t.prefix, Latency: lat}
+	return res, nil
+}
+
+// Stats returns current serving telemetry.
+func (s *Server) Stats() Snapshot {
+	snap := s.stats.snapshot()
+	snap.ResultHits, snap.ResultMisses, snap.ResultEvicted, snap.ResultEntries = s.results.counters()
+	snap.PrefixHits, snap.PrefixMisses, snap.PrefixEvicted, snap.PrefixEntries = s.prefix.counters()
+	return snap
+}
+
+// Close stops the workers and fails any queued or in-flight request with
+// ErrShutdown. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stop)
+	s.wg.Wait()
+	// No Submit can be enqueueing now (closed was set under the write
+	// lock), so one final drain sheds everything that raced in.
+	for {
+		select {
+		case t := <-s.queue:
+			t.done <- taskDone{err: ErrShutdown}
+		default:
+			return
+		}
+	}
+}

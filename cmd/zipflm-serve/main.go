@@ -1,6 +1,7 @@
 // Command zipflm-serve exposes a checkpoint as a batched-inference HTTP
 // service (internal/serve): dynamic batching over per-worker replicas,
-// bounded-queue admission control, and Zipf-aware result/prefix caches.
+// bounded-queue admission control, Zipf-aware result/prefix caches, and
+// zero-downtime weight reloads.
 //
 // Usage:
 //
@@ -8,6 +9,18 @@
 //	zipflm-serve -model model.ckpt -vocab vocab.ckpt -addr :8080
 //	curl -s localhost:8080/v1/generate -d '{"prompt":"the cat","n":24,"temperature":0.8,"seed":7}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/reload -d '{"path":"model-v2.ckpt"}'
+//
+// -model also accepts a full-state checkpoint file or a checkpoint
+// *directory* written by zipflm-train -ckpt-dir; with -watch the server
+// polls that directory and hot-reloads whenever training publishes a newer
+// checkpoint — in-flight generations finish on the weights that admitted
+// them, new requests get the new weights, nothing is dropped.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: admissions stop,
+// queued and in-flight generations drain through the serve layer's
+// ErrShutdown path (clean 503s, no severed connections), and the process
+// exits 0.
 //
 // With -loadgen N the command skips HTTP entirely and drives the server
 // in-process with the closed-loop Zipf load generator, printing the
@@ -16,14 +29,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"zipflm/internal/ckpt"
 	"zipflm/internal/corpus"
 	"zipflm/internal/metrics"
 	"zipflm/internal/model"
@@ -33,7 +52,7 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "model checkpoint (required)")
+		modelPath = flag.String("model", "", "model checkpoint, full-state checkpoint, or checkpoint directory (required)")
 		vocabPath = flag.String("vocab", "", "vocabulary file (enables text prompts and word responses)")
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		workers   = flag.Int("workers", 1, "model replicas (one batcher each)")
@@ -42,6 +61,7 @@ func main() {
 		cache     = flag.Int("cache", 1024, "result cache entries (0 disables)")
 		prefixes  = flag.Int("prefix-cache", 256, "prefix cache entries (0 disables)")
 		window    = flag.Duration("batch-window", 0, "linger this long assembling a fresh batch")
+		watch     = flag.Duration("watch", 0, "poll the -model checkpoint directory at this interval and hot-reload new checkpoints (0 disables)")
 		loadN     = flag.Int("loadgen", 0, "run N closed-loop requests in-process instead of serving HTTP")
 		clients   = flag.Int("clients", 8, "loadgen concurrency")
 		tokens    = flag.Int("tokens", 24, "loadgen tokens per request")
@@ -54,12 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zipflm-serve: -model is required")
 		os.Exit(1)
 	}
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		fatal(err)
-	}
-	m, err := model.Load(mf)
-	mf.Close()
+	m, step, err := loadWeights(*modelPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,22 +110,142 @@ func main() {
 		return
 	}
 
+	weights := &weightsInfo{source: *modelPath, step: step, at: time.Now()}
+
+	if *watch > 0 {
+		if fi, err := os.Stat(*modelPath); err != nil || !fi.IsDir() {
+			fatal(fmt.Errorf("-watch needs -model to be a checkpoint directory"))
+		}
+		d, err := ckpt.NewDir(*modelPath, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go watchLoop(srv, weights, d, *watch, stopWatch)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(statsJSON(srv.Stats()))
+		json.NewEncoder(w).Encode(statsJSON(srv.Stats(), weights))
 	})
 	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		handleGenerate(w, r, srv, m, vocab)
+		handleGenerate(w, r, srv, vocab)
+	})
+	mux.HandleFunc("/v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		handleReload(w, r, srv, weights)
 	})
 
 	fmt.Fprintf(os.Stderr, "zipflm-serve: listening on %s (vocab %d, %d workers × batch %d, queue %d)\n",
 		*addr, m.Cfg.Vocab, *workers, *maxBatch, *queue)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+
+	// Graceful shutdown: stop admitting, drain in-flight generations
+	// through the serve layer's ErrShutdown path (handlers answer their
+	// callers with clean 503s), then let the HTTP server finish writing
+	// those responses and exit 0.
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "zipflm-serve: %v: draining in-flight requests\n", sig)
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "zipflm-serve: drained, clean shutdown")
+}
+
+// loadWeights loads serving weights from a bare model checkpoint, a
+// full-state checkpoint, or a checkpoint directory (newest checkpoint).
+// The returned step is -1 when the source carries no training step.
+func loadWeights(path string) (*model.LM, int, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		d, err := ckpt.NewDir(path, 0, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := d.Latest()
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := st.LM()
+		return m, st.Step, err
+	}
+	if st, err := ckpt.Open(path); err == nil {
+		m, err := st.LM()
+		return m, st.Step, err
+	} else if !errors.Is(err, ckpt.ErrNotCheckpoint) {
+		return nil, 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	m, err := model.Load(f)
+	return m, -1, err
+}
+
+// weightsInfo tracks the provenance of the currently-served weights for
+// /v1/stats (the weights version itself comes from the serve layer's
+// Snapshot).
+type weightsInfo struct {
+	mu     sync.Mutex
+	source string
+	step   int // training step of the checkpoint, -1 if unknown
+	at     time.Time
+}
+
+func (wi *weightsInfo) set(source string, step int) {
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	wi.source, wi.step, wi.at = source, step, time.Now()
+}
+
+func (wi *weightsInfo) get() (string, int, time.Time) {
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	return wi.source, wi.step, wi.at
+}
+
+// watchLoop polls a checkpoint directory and hot-reloads whenever a newer
+// step appears — the serving side of continuous training.
+func watchLoop(srv *serve.Server, weights *weightsInfo, d *ckpt.Dir, every time.Duration, stop <-chan struct{}) {
+	_, lastStep, _ := weights.get()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		st, err := d.Latest()
+		if err != nil || st.Step <= lastStep {
+			continue
+		}
+		m, err := st.LM()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-serve: watch: checkpoint step %d unreadable: %v\n", st.Step, err)
+			continue
+		}
+		v, err := srv.Reload(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-serve: watch: reload rejected: %v\n", err)
+			continue
+		}
+		lastStep = st.Step
+		weights.set(d.Path(), st.Step)
+		fmt.Fprintf(os.Stderr, "zipflm-serve: hot-reloaded checkpoint step %d (weights v%d)\n", st.Step, v)
 	}
 }
 
@@ -128,14 +263,15 @@ type genRequest struct {
 
 // genResponse is the /v1/generate response body.
 type genResponse struct {
-	Tokens    []int  `json:"tokens"`
-	Text      string `json:"text,omitempty"`
-	CacheHit  bool   `json:"cache_hit"`
-	PrefixHit bool   `json:"prefix_hit"`
-	LatencyMS int64  `json:"latency_ms"`
+	Tokens         []int  `json:"tokens"`
+	Text           string `json:"text,omitempty"`
+	CacheHit       bool   `json:"cache_hit"`
+	PrefixHit      bool   `json:"prefix_hit"`
+	LatencyMS      int64  `json:"latency_ms"`
+	WeightsVersion uint64 `json:"weights_version"`
 }
 
-func handleGenerate(w http.ResponseWriter, r *http.Request, srv *serve.Server, m *model.LM, vocab *corpus.Vocabulary) {
+func handleGenerate(w http.ResponseWriter, r *http.Request, srv *serve.Server, vocab *corpus.Vocabulary) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -184,10 +320,11 @@ func handleGenerate(w http.ResponseWriter, r *http.Request, srv *serve.Server, m
 	}
 
 	out := genResponse{
-		Tokens:    res.Tokens,
-		CacheHit:  res.CacheHit,
-		PrefixHit: res.PrefixHit,
-		LatencyMS: res.Latency.Milliseconds(),
+		Tokens:         res.Tokens,
+		CacheHit:       res.CacheHit,
+		PrefixHit:      res.PrefixHit,
+		LatencyMS:      res.Latency.Milliseconds(),
+		WeightsVersion: res.WeightsVersion,
 	}
 	if vocab != nil {
 		words := make([]string, len(res.Tokens))
@@ -200,8 +337,51 @@ func handleGenerate(w http.ResponseWriter, r *http.Request, srv *serve.Server, m
 	json.NewEncoder(w).Encode(out)
 }
 
-// statsJSON flattens a Snapshot for the /v1/stats endpoint.
-func statsJSON(s serve.Snapshot) map[string]any {
+// reloadRequest is the /v1/reload request body; an empty path re-reads the
+// currently-served source (e.g. a republished file or directory).
+type reloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+func handleReload(w http.ResponseWriter, r *http.Request, srv *serve.Server, weights *weightsInfo) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var in reloadRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	source, _, _ := weights.get()
+	if in.Path != "" {
+		source = in.Path
+	}
+	m, step, err := loadWeights(source)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, err := srv.Reload(m)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	weights.set(source, step)
+	fmt.Fprintf(os.Stderr, "zipflm-serve: reloaded %s (weights v%d)\n", source, v)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"weights_version": v,
+		"source":          source,
+		"checkpoint_step": step,
+	})
+}
+
+// statsJSON flattens a Snapshot plus checkpoint metadata for /v1/stats.
+func statsJSON(s serve.Snapshot, weights *weightsInfo) map[string]any {
+	source, step, at := weights.get()
 	return map[string]any{
 		"uptime_s":        s.Uptime.Seconds(),
 		"accepted":        s.Accepted,
@@ -221,6 +401,13 @@ func statsJSON(s serve.Snapshot) map[string]any {
 		"prefix_misses":   s.PrefixMisses,
 		"prefix_entries":  s.PrefixEntries,
 		"hit_rate":        s.HitRate(),
+		"weights_version": s.WeightsVersion,
+		"reloads":         s.Reloads,
+		"checkpoint": map[string]any{
+			"source":    source,
+			"step":      step,
+			"loaded_at": at.UTC().Format(time.RFC3339),
+		},
 	}
 }
 

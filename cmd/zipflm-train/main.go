@@ -50,6 +50,10 @@ func main() {
 		dropout   = flag.Float64("dropout", 0, "training dropout probability on RNN outputs")
 		savePath  = flag.String("save", "", "write the trained model checkpoint to this file")
 		saveVocab = flag.String("save-vocab", "", "write the vocabulary to this file (for zipflm-generate -prompt)")
+		ckptDir   = flag.String("ckpt-dir", "", "write full-state checkpoints (weights, optimizer moments, step, RNG streams) into this directory")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N global steps into -ckpt-dir (0 disables)")
+		ckptKeep  = flag.Int("ckpt-keep", 3, "retention: keep the most recent N checkpoints")
+		resume    = flag.String("resume", "", "resume full training state from the newest checkpoint in this directory (corpus flags and -seed must match the checkpointing run)")
 		seed      = flag.Uint64("seed", 42, "reproducibility seed")
 	)
 	flag.Parse()
@@ -100,11 +104,28 @@ func main() {
 	if *adam {
 		cfg.NewOptimizer = func() optim.Optimizer { return optim.NewAdam(1e-5) }
 	}
-
-	tr, err := trainer.New(cfg, train, valid)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.CheckpointKeepLast = *ckptKeep
+	if *ckptEvery > 0 && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "zipflm-train: -ckpt-every needs -ckpt-dir")
 		os.Exit(1)
+	}
+
+	var tr *trainer.Trainer
+	if *resume != "" {
+		tr, err = trainer.Resume(cfg, *resume, train, valid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from step %d (%s)\n", tr.Step(), *resume)
+	} else {
+		tr, err = trainer.New(cfg, train, valid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("training: %d ranks × (%d seq × %d tokens), exchange=%s, lr=%.3f, %d steps/epoch\n",
 		*ranks, *batch, *seqLen, ex.Name(), cfg.LR, tr.StepsPerEpoch())
@@ -133,6 +154,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("replicas in sync: ok")
+	if *ckptEvery > 0 {
+		fmt.Printf("full-state checkpoints: %d written to %s (resume with -resume %s)\n",
+			tr.FaultStats().Checkpoints, *ckptDir, *ckptDir)
+	}
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)

@@ -58,4 +58,27 @@
 // generator and fits the issued load with internal/powerlaw; the
 // BenchmarkServe* benchmarks in internal/serve compare batched and
 // sequential throughput.
+//
+// # Fault tolerance: checkpoints, deterministic resume, failure injection
+//
+// internal/ckpt makes the training and serving stacks crash-safe the way
+// the paper's tens-of-hours epochs demand. A checkpoint captures the
+// complete training state — model weights (deterministic name-sorted
+// encoding), optimizer moments, global step and LR-schedule position,
+// per-rank RNG streams, carried RNN state — in CRC-framed, atomically
+// written files under a retention-managed store, and trainer.Resume
+// restores it so exactly that checkpoint-then-resume is bit-identical to
+// never having stopped: replicas, wire-byte counters, and validation loss
+// all match an uninterrupted run across every optimizer × exchange ×
+// precision × overlap combination (the resume tests enforce this).
+// On the virtual clock, a seeded ckpt.FaultPlan kills ranks at simulated
+// times; the trainer rolls back to its last checkpoint, replays, and the
+// "faults" experiment (zipflm-bench -exp faults) sweeps checkpoint
+// interval against failure rate to trace goodput, with the measured
+// optimum landing on the Young/Daly √(2δM) prediction. On the serving
+// side, serve.Server.Reload swaps worker replicas between batch steps
+// with zero dropped requests — in-flight sequences finish on the weights
+// that admitted them, caches are generation-tagged — and zipflm-serve
+// wires it to POST /v1/reload, a checkpoint-directory watcher (-watch),
+// and graceful SIGINT/SIGTERM drain.
 package zipflm

@@ -1,0 +1,197 @@
+// Package ckpt is the fault-tolerance subsystem: full-state training
+// checkpoints, a retention-managed on-disk store, and deterministic failure
+// injection for the virtual-clock simulator.
+//
+// At the paper's scale an epoch is tens of hours across up to 128 GPUs —
+// rank failures are the norm, and restart-from-scratch is the difference
+// between 14.6 h and never finishing. A checkpoint here captures the whole
+// training state, not just weights: model parameters (via the model
+// package's deterministic sorted encoding), optimizer moments, the global
+// step and LR-schedule position, per-rank RNG stream states, and per-rank
+// carried recurrent state. Restoring one therefore makes a resumed run
+// bit-identical to an uninterrupted one — the correctness contract the
+// trainer tests enforce.
+//
+// The file format is framed for production storage: a magic + version
+// header, a length-prefixed payload, and a trailing CRC-32C over
+// everything before it, so bit rot, truncation, and version skew are all
+// detected on Open (never a panic, never a half-initialized state). Files
+// are written atomically (tmp + rename) by WriteFile and the Dir store.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"zipflm/internal/model"
+	"zipflm/internal/optim"
+)
+
+// Version guards the checkpoint file format.
+const Version = 1
+
+// magic identifies a zipflm full-state checkpoint file.
+var magic = [8]byte{'Z', 'L', 'M', 'C', 'K', 'P', 'T', 0}
+
+// crcTable is CRC-32C (Castagnoli), the polynomial storage systems use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNotCheckpoint is returned by Open/Decode when the input does not start
+// with the checkpoint magic — callers that accept both full-state
+// checkpoints and bare model.Save files key their fallback on it.
+var ErrNotCheckpoint = errors.New("ckpt: not a checkpoint file (bad magic)")
+
+// State is the complete training state at a global-step boundary.
+// Replicas and optimizer state are identical across ranks between steps
+// (the §II-B invariant the trainer asserts), so one copy of each is
+// stored; RNG streams and carried recurrent state are per rank.
+type State struct {
+	// Step is the global training step the state was captured at.
+	Step int
+	// LR and NextDecay are the LR-decay schedule position.
+	LR        float64
+	NextDecay int
+	// Ranks is the cluster size G of the checkpointing run.
+	Ranks int
+	// ModelBytes is the model.Save encoding of the (identical) replicas —
+	// deterministic bytes thanks to the sorted dense-parameter format.
+	ModelBytes []byte
+	// Opt is the dense-optimizer state (Adam moments + step counter;
+	// empty Kind means the optimizer declared no state).
+	Opt optim.State
+	// RNG holds each rank's model RNG stream (dropout masks), in rank
+	// order.
+	RNG [][4]uint64
+	// RNN holds each rank's carried recurrent state for stateful
+	// (truncated-BPTT) runs; nil for stateless runs.
+	RNN []model.CarriedState
+}
+
+// LM decodes the embedded model into a fresh replica.
+func (s *State) LM() (*model.LM, error) {
+	return model.Load(bytes.NewReader(s.ModelBytes))
+}
+
+// Encode writes st to w in the framed format:
+//
+//	magic[8] | version u32 | payloadLen u64 | payload | crc32c u32
+//
+// The payload is a gob encoding of State; every field is a slice or
+// scalar (no maps), so identical states produce identical bytes.
+func Encode(w io.Writer, st *State) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	var head bytes.Buffer
+	head.Write(magic[:])
+	binary.Write(&head, binary.LittleEndian, uint32(Version))
+	binary.Write(&head, binary.LittleEndian, uint64(payload.Len()))
+
+	crc := crc32.New(crcTable)
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if _, err := mw.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a checkpoint written by Encode, verifying magic, version,
+// length, and CRC before any of the payload is interpreted. Corrupt
+// (bit-flipped), truncated, and future-version inputs return errors.
+func Decode(r io.Reader) (*State, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read: %w", err)
+	}
+	const headLen = 8 + 4 + 8
+	if len(raw) < headLen+4 {
+		return nil, fmt.Errorf("ckpt: truncated: %d bytes is shorter than the smallest checkpoint", len(raw))
+	}
+	if !bytes.Equal(raw[:8], magic[:]) {
+		return nil, ErrNotCheckpoint
+	}
+	version := binary.LittleEndian.Uint32(raw[8:12])
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("ckpt: version %d, this build reads 1..%d", version, Version)
+	}
+	payloadLen := binary.LittleEndian.Uint64(raw[12:headLen])
+	if payloadLen != uint64(len(raw)-headLen-4) {
+		return nil, fmt.Errorf("ckpt: truncated or padded: header claims %d payload bytes, file carries %d",
+			payloadLen, len(raw)-headLen-4)
+	}
+	body := raw[:len(raw)-4]
+	wantCRC := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.Checksum(body, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("ckpt: CRC mismatch (stored %08x, computed %08x): checkpoint is corrupt", wantCRC, got)
+	}
+	st := &State{}
+	if err := gob.NewDecoder(bytes.NewReader(raw[headLen : len(raw)-4])).Decode(st); err != nil {
+		return nil, fmt.Errorf("ckpt: decode payload: %w", err)
+	}
+	if st.Ranks <= 0 || st.Step < 0 {
+		return nil, fmt.Errorf("ckpt: invalid state (ranks %d, step %d)", st.Ranks, st.Step)
+	}
+	if len(st.RNG) != 0 && len(st.RNG) != st.Ranks {
+		return nil, fmt.Errorf("ckpt: %d RNG streams for %d ranks", len(st.RNG), st.Ranks)
+	}
+	if len(st.RNN) != 0 && len(st.RNN) != st.Ranks {
+		return nil, fmt.Errorf("ckpt: %d carried states for %d ranks", len(st.RNN), st.Ranks)
+	}
+	return st, nil
+}
+
+// WriteFile writes st to path atomically: the bytes land in a temporary
+// file in the same directory, are synced, and are renamed into place, so a
+// crash mid-write can never leave a half-written checkpoint under the
+// final name.
+func WriteFile(path string, st *State) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Encode(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename into place: %w", err)
+	}
+	return nil
+}
+
+// Open reads and validates the checkpoint at path.
+func Open(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	st, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return st, nil
+}

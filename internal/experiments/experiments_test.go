@@ -11,7 +11,7 @@ import (
 func quickOpts() Options { return Options{Quick: true, Seed: 42} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-fp16", "abl-hier", "abl-sampler", "abl-seed", "bpc", "fig1", "fig5", "fig6", "fig7", "fig8", "mem", "overlap", "serving", "tab1", "tab3", "tab4", "tab5", "weakscale"}
+	want := []string{"abl-fp16", "abl-hier", "abl-sampler", "abl-seed", "bpc", "faults", "fig1", "fig5", "fig6", "fig7", "fig8", "mem", "overlap", "serving", "tab1", "tab3", "tab4", "tab5", "weakscale"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -46,6 +46,33 @@ func TestOverlapExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out, "speedup") {
 		t.Errorf("missing speedup summary:\n%s", out)
+	}
+}
+
+// TestFaultsExperiment gates the fault-injection goodput sweep: failures
+// must actually be injected and cost work, the virtual clock must stay
+// deterministic under rollback, and every swept MTBF's empirically-best
+// checkpoint interval must land within the Young/Daly ballpark.
+func TestFaultsExperiment(t *testing.T) {
+	rep, err := Run("faults", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("faults experiment lost determinism:\n%s", out)
+	}
+	if strings.Contains(out, "OUTSIDE the Young/Daly ballpark") {
+		t.Errorf("empirically-best interval off the Young/Daly prediction:\n%s", out)
+	}
+	if !strings.Contains(out, "within the Young/Daly ballpark") {
+		t.Errorf("missing the measured-vs-predicted comparison:\n%s", out)
+	}
+	if !strings.Contains(out, "goodput") {
+		t.Errorf("missing goodput column:\n%s", out)
+	}
+	if !strings.Contains(out, "deterministic: re-running a cell") {
+		t.Errorf("missing determinism check:\n%s", out)
 	}
 }
 

@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"strings"
 	"testing"
@@ -62,6 +63,114 @@ func TestCheckpointRHN(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("not a checkpoint")); err == nil {
 		t.Fatal("garbage must fail to load")
+	}
+}
+
+// TestSaveDeterministicBytes: saving one model twice, and saving a
+// separately-constructed identical model, must produce byte-identical
+// files — the property the ckpt store's CRC/content-hash layer relies on
+// (and what the sorted dense-parameter encoding fixed: the old map-based
+// format serialized in random gob order).
+func TestSaveDeterministicBytes(t *testing.T) {
+	cfg := Config{Vocab: 30, Dim: 6, Hidden: 8, RNN: KindRHN, RHNDepth: 3, Seed: 11}
+	var a, b, c bytes.Buffer
+	m := NewLM(cfg)
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	twin := NewLM(cfg)
+	if err := twin.Save(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same model differ")
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("saves of identically-constructed models differ")
+	}
+}
+
+// TestLoadRejectsDamagedCheckpoints is the fuzz-style table over damaged
+// model files: truncations and version skew must error, and no damaged
+// input of any kind — including arbitrary bit flips, which gob cannot
+// always detect — may panic or yield a half-initialized model.
+func TestLoadRejectsDamagedCheckpoints(t *testing.T) {
+	m := NewLM(Config{Vocab: 25, Dim: 5, Hidden: 6, RNN: KindLSTM, Sampled: 4, Seed: 8})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	tryLoad := func(name string, raw []byte, mustErr bool) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: Load panicked: %v", name, r)
+			}
+		}()
+		lm, err := Load(bytes.NewReader(raw))
+		if mustErr && err == nil {
+			t.Errorf("%s: Load accepted damaged input", name)
+		}
+		if (lm == nil) == (err == nil) {
+			t.Errorf("%s: Load returned model=%v err=%v", name, lm != nil, err)
+		}
+	}
+
+	for _, n := range []int{0, 1, 7, len(good) / 3, len(good) / 2, len(good) - 1} {
+		tryLoad("truncated", good[:n], true)
+	}
+	// Version skew: a well-formed future-version file must be refused.
+	var future bytes.Buffer
+	if err := gob.NewEncoder(&future).Encode(checkpointFile{Version: checkpointVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	tryLoad("future-version", future.Bytes(), true)
+	var zero bytes.Buffer
+	if err := gob.NewEncoder(&zero).Encode(checkpointFile{Version: 0}); err != nil {
+		t.Fatal(err)
+	}
+	tryLoad("version-zero", zero.Bytes(), true)
+	// Bit flips: gob has no checksum, so a flip may or may not decode — the
+	// contract is only no-panic and no half-state (full-state integrity is
+	// the ckpt package's CRC framing).
+	for off := 0; off < len(good); off += 13 {
+		raw := append([]byte(nil), good...)
+		raw[off] ^= 0x40
+		tryLoad("bitflip", raw, false)
+	}
+}
+
+// TestLoadAcceptsVersion1Map: files written by the old map-based format
+// must keep loading.
+func TestLoadAcceptsVersion1Map(t *testing.T) {
+	cfg := Config{Vocab: 20, Dim: 4, Hidden: 5, RNN: KindLSTM, Seed: 6}
+	m := NewLM(cfg)
+	m.InEmb.Data[0] = 3.5
+	v1 := checkpointFile{
+		Version: 1,
+		Cfg:     cfg,
+		InEmb:   m.InEmb.Data,
+		OutEmb:  m.OutEmb.Data,
+		Dense:   map[string][]float32{},
+	}
+	for _, p := range m.DenseParams() {
+		v1.Dense[p.Name] = p.Value
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InEmb.Data[0] != 3.5 {
+		t.Fatal("v1 checkpoint did not restore weights")
 	}
 }
 

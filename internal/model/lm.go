@@ -291,6 +291,66 @@ func (m *LM) EvalLoss(stream []int, seqLen int) (lossSum float64, count int) {
 // boundaries in stateful training).
 func (m *LM) ResetRNNState() { m.rnn.ResetState() }
 
+// RNGState returns the model's private RNG stream state (the dropout mask
+// generator — the only stochastic consumer inside a training step). The
+// checkpoint subsystem persists it per rank so a resumed run draws the
+// exact masks the uninterrupted run would have drawn.
+func (m *LM) RNGState() [4]uint64 { return m.drop.r.State() }
+
+// SetRNGState restores a stream captured by RNGState.
+func (m *LM) SetRNGState(s [4]uint64) { m.drop.r.SetState(s) }
+
+// CarriedState is the serializable form of the stateful-training recurrent
+// state (truncated-BPTT carry). A zero value (nil H) means "no carried
+// state": the next forward pass starts from zeros.
+type CarriedState struct {
+	// H and C are the carried hidden/cell matrices in row-major order
+	// (C is nil for RHN, which has no cell state).
+	H, C []float32
+	// Rows and Cols are the matrix shape (batch × hidden).
+	Rows, Cols int
+}
+
+// CarriedRNNState exports the current carried recurrent state.
+func (m *LM) CarriedRNNState() CarriedState {
+	snap, _ := m.rnn.SnapshotState().(*carriedState)
+	if snap == nil || snap.H == nil {
+		return CarriedState{}
+	}
+	cs := CarriedState{
+		H:    append([]float32(nil), snap.H.Data...),
+		Rows: snap.H.Rows,
+		Cols: snap.H.Cols,
+	}
+	if snap.C != nil {
+		cs.C = append([]float32(nil), snap.C.Data...)
+	}
+	return cs
+}
+
+// SetCarriedRNNState restores a state exported by CarriedRNNState. A zero
+// value clears the carry (equivalent to ResetRNNState).
+func (m *LM) SetCarriedRNNState(cs CarriedState) error {
+	if cs.H == nil {
+		m.rnn.ResetState()
+		return nil
+	}
+	if cs.Rows <= 0 || cs.Cols <= 0 || len(cs.H) != cs.Rows*cs.Cols {
+		return fmt.Errorf("model: carried state %d×%d does not match %d hidden values", cs.Rows, cs.Cols, len(cs.H))
+	}
+	if cs.C != nil && len(cs.C) != cs.Rows*cs.Cols {
+		return fmt.Errorf("model: carried cell state has %d values, want %d", len(cs.C), cs.Rows*cs.Cols)
+	}
+	st := &carriedState{H: tensor.NewMatrix(cs.Rows, cs.Cols)}
+	copy(st.H.Data, cs.H)
+	if cs.C != nil {
+		st.C = tensor.NewMatrix(cs.Rows, cs.Cols)
+		copy(st.C.Data, cs.C)
+	}
+	m.rnn.RestoreState(st)
+	return nil
+}
+
 // CopyWeightsFrom copies every parameter of src into m (used to give all
 // ranks identical replicas at initialization, the §II-B invariant "the
 // model parameters on all GPUs are the same").

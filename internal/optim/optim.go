@@ -8,7 +8,9 @@
 package optim
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"zipflm/internal/model"
 )
@@ -18,6 +20,79 @@ type Optimizer interface {
 	// Step applies one update at the given learning rate and clears
 	// nothing — callers zero gradients between steps.
 	Step(params []model.Param, lr float32)
+}
+
+// State is a serializable optimizer snapshot for the checkpoint subsystem.
+// Moment maps are flattened into name-sorted parallel slices so identical
+// optimizers always produce identical bytes (map iteration order must never
+// reach an encoder). Kind guards a resume against swapping optimizers
+// between the checkpointing run and the resuming one.
+type State struct {
+	// Kind identifies the optimizer ("sgd", "adam").
+	Kind string
+	// T is Adam's global step count (bias correction position).
+	T int
+	// Names are the parameter names, sorted; M and V are the first and
+	// second moments in the same order.
+	Names []string
+	M, V  [][]float64
+}
+
+// Snapshotter is implemented by optimizers whose internal state must
+// survive a checkpoint/resume cycle. Snapshot deep-copies, so later Steps
+// cannot mutate a captured state; Restore deep-copies back, so one State
+// can seed every rank's optimizer independently.
+type Snapshotter interface {
+	Snapshot() State
+	Restore(State) error
+}
+
+// Snapshot implements Snapshotter: SGD is stateless.
+func (SGD) Snapshot() State { return State{Kind: "sgd"} }
+
+// Restore implements Snapshotter.
+func (SGD) Restore(s State) error {
+	if s.Kind != "sgd" {
+		return fmt.Errorf("optim: resuming SGD from a %q checkpoint", s.Kind)
+	}
+	return nil
+}
+
+// Snapshot implements Snapshotter: the step counter plus both moment maps,
+// name-sorted and deep-copied.
+func (a *Adam) Snapshot() State {
+	st := State{Kind: "adam", T: a.t}
+	for name := range a.m {
+		st.Names = append(st.Names, name)
+	}
+	sort.Strings(st.Names)
+	for _, name := range st.Names {
+		st.M = append(st.M, append([]float64(nil), a.m[name]...))
+		st.V = append(st.V, append([]float64(nil), a.v[name]...))
+	}
+	return st
+}
+
+// Restore implements Snapshotter.
+func (a *Adam) Restore(s State) error {
+	if s.Kind != "adam" {
+		return fmt.Errorf("optim: resuming Adam from a %q checkpoint", s.Kind)
+	}
+	if len(s.Names) != len(s.M) || len(s.Names) != len(s.V) {
+		return fmt.Errorf("optim: Adam state has %d names but %d/%d moment slices",
+			len(s.Names), len(s.M), len(s.V))
+	}
+	a.t = s.T
+	a.m = make(map[string][]float64, len(s.Names))
+	a.v = make(map[string][]float64, len(s.Names))
+	for i, name := range s.Names {
+		if len(s.M[i]) != len(s.V[i]) {
+			return fmt.Errorf("optim: Adam state for %q has mismatched moment lengths", name)
+		}
+		a.m[name] = append([]float64(nil), s.M[i]...)
+		a.v[name] = append([]float64(nil), s.V[i]...)
+	}
+	return nil
 }
 
 // SGD is stochastic gradient descent, the word-LM optimizer (§IV-B: "we

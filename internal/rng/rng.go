@@ -144,3 +144,18 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Fork() *RNG {
 	return New(r.Uint64())
 }
+
+// State returns the generator's full 256-bit internal state, the handle the
+// checkpoint subsystem uses to persist a stream mid-run: SetState on a fresh
+// generator continues the exact sequence this generator would have produced.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State. The all-zero state is
+// unreachable from any seed (and would wedge xoshiro), so it is rejected the
+// same way New guards against it.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	r.s = s
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"zipflm/internal/model"
@@ -30,13 +31,29 @@ func (q *seq) nextInput() int {
 	return q.out[q.fed-len(q.t.req.Prompt)]
 }
 
+// pendingModel is a reload in flight: the worker installs it at the next
+// step boundary where it holds no in-flight sequences.
+type pendingModel struct {
+	m       *model.LM
+	version uint64
+}
+
 // worker owns one model replica and runs the continuous batching loop:
 // admit into free slots, step the whole batch one token, sample and retire,
 // repeat. Sequences join and leave at any step boundary, so a long request
 // never blocks a short one and fresh arrivals start mid-flight.
+//
+// A Reload parks a replacement replica in pending. The worker then stops
+// admitting (in-flight sequences keep stepping on the current weights,
+// retiring normally), and the moment its batch is empty it swaps model,
+// stepper, and version and resumes admitting — so every sequence runs
+// start-to-finish on one weights generation, and nothing is shed.
 type worker struct {
 	s       *Server
 	m       *model.LM
+	arch    model.Config // immutable architecture, read by Reload for validation
+	version uint64       // weights generation of w.m (worker-goroutine owned)
+	pending atomic.Pointer[pendingModel]
 	stepper *model.Stepper
 	dec     *sampling.Decoder
 	active  []*seq
@@ -48,6 +65,8 @@ func newWorker(s *Server, m *model.LM) *worker {
 	return &worker{
 		s:       s,
 		m:       m,
+		arch:    m.Cfg,
+		version: 1,
 		stepper: m.NewStepper(s.cfg.MaxBatch),
 		dec:     sampling.NewDecoder(m.Cfg.Vocab),
 		ids:     make([]int, s.cfg.MaxBatch),
@@ -55,12 +74,28 @@ func newWorker(s *Server, m *model.LM) *worker {
 	}
 }
 
+// maybeSwap installs a pending reload. Callers guarantee the batch is
+// empty, so no in-flight sequence ever crosses a weights boundary.
+func (w *worker) maybeSwap() {
+	p := w.pending.Swap(nil)
+	if p == nil {
+		return
+	}
+	w.m = p.m
+	w.stepper = p.m.NewStepper(w.s.cfg.MaxBatch)
+	w.version = p.version
+}
+
 func (w *worker) loop() {
 	for {
 		if len(w.active) == 0 {
+			w.maybeSwap()
 			// Idle: block for work or shutdown.
 			select {
 			case t := <-w.s.queue:
+				// A reload may have landed while blocked; install it before
+				// admitting so this request gets the new weights.
+				w.maybeSwap()
 				w.admit(t)
 				w.coalesce()
 			case <-w.s.stop:
@@ -80,7 +115,11 @@ func (w *worker) loop() {
 				return
 			default:
 			}
-			w.fill()
+			if w.pending.Load() == nil {
+				// With a reload pending, stop admitting and let the batch
+				// drain on the current weights.
+				w.fill()
+			}
 		}
 		if len(w.active) > 0 {
 			w.step()
@@ -101,7 +140,9 @@ func (w *worker) fill() {
 }
 
 // coalesce optionally lingers up to BatchWindow after starting a fresh
-// batch, trading first-token latency for batch occupancy.
+// batch, trading first-token latency for batch occupancy. A reload arriving
+// mid-linger ends it: the sooner the batch drains, the sooner the new
+// weights install.
 func (w *worker) coalesce() {
 	if w.s.cfg.BatchWindow <= 0 {
 		w.fill()
@@ -109,7 +150,7 @@ func (w *worker) coalesce() {
 	}
 	timer := time.NewTimer(w.s.cfg.BatchWindow)
 	defer timer.Stop()
-	for len(w.active) < w.s.cfg.MaxBatch {
+	for len(w.active) < w.s.cfg.MaxBatch && w.pending.Load() == nil {
 		select {
 		case t := <-w.s.queue:
 			w.admit(t)
@@ -145,7 +186,7 @@ func (w *worker) admit(t *task) {
 		t.prefix = true
 		q.out = append(q.out, w.dec.Sample(pe.logits, req.Opts, q.r))
 		if len(q.out) == req.N {
-			t.done <- taskDone{tokens: q.out}
+			t.done <- taskDone{tokens: q.out, version: w.version}
 			return
 		}
 	} else {
@@ -156,12 +197,15 @@ func (w *worker) admit(t *task) {
 
 // prefixLookup consults the prefix cache, skipping even the key build when
 // the cache is disabled (uncached configurations must not pay for cache
-// bookkeeping).
+// bookkeeping). Entries snapshotted by a different weights generation are
+// misses: an old-weights state must never seed a new-weights generation.
 func (w *worker) prefixLookup(prompt []int) (any, bool) {
 	if w.s.prefix == nil {
 		return nil, false
 	}
-	return w.s.prefix.get(prefixKey(prompt))
+	return w.s.prefix.getIf(prefixKey(prompt), func(v any) bool {
+		return v.(*prefixEntry).version == w.version
+	})
 }
 
 // step advances every active sequence one token: one batched forward, then
@@ -193,14 +237,15 @@ func (w *worker) step() {
 				// mutation of the live sequence cannot corrupt it).
 				if w.s.prefix != nil {
 					w.s.prefix.put(prefixKey(q.t.req.Prompt), &prefixEntry{
-						state:  q.state.Clone(),
-						logits: append([]float32(nil), row...),
+						state:   q.state.Clone(),
+						logits:  append([]float32(nil), row...),
+						version: w.version,
 					})
 				}
 			}
 			q.out = append(q.out, w.dec.Sample(row, q.t.req.Opts, q.r))
 			if len(q.out) == q.t.req.N {
-				q.t.done <- taskDone{tokens: q.out}
+				q.t.done <- taskDone{tokens: q.out, version: w.version}
 				continue // retire
 			}
 		}

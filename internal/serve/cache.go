@@ -51,6 +51,14 @@ func newLRUCache(capacity int) *lruCache {
 
 // get returns the cached value and marks it most recently used.
 func (c *lruCache) get(key string) (any, bool) {
+	return c.getIf(key, nil)
+}
+
+// getIf is get with a validity predicate: an entry that fails it is
+// dropped and counted as a miss — the hit counters must only report work
+// the cache actually served (a version-stale entry after a weights reload
+// is a miss, not a hit).
+func (c *lruCache) getIf(key string, valid func(any) bool) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -61,9 +69,16 @@ func (c *lruCache) get(key string) (any, bool) {
 		c.misses++
 		return nil, false
 	}
+	val := el.Value.(*lruEntry).val
+	if valid != nil && !valid(val) {
+		c.misses++
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return val, true
 }
 
 // put inserts or refreshes a key, evicting the least recently used entry
@@ -88,6 +103,20 @@ func (c *lruCache) put(key string, val any) {
 	}
 }
 
+// reset drops every entry (hit/miss counters keep accumulating) — used by
+// Reload to release the old weights' cached work promptly. Per-entry
+// version tags, not this reset, are what guarantee correctness: a stale
+// entry that races back in is rejected at lookup.
+func (c *lruCache) reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+}
+
 // counters returns (hits, misses, evicted, len).
 func (c *lruCache) counters() (uint64, uint64, uint64, int) {
 	if c == nil {
@@ -101,10 +130,20 @@ func (c *lruCache) counters() (uint64, uint64, uint64, int) {
 // prefixEntry is a post-prompt snapshot: the recurrent state after the last
 // prompt token and the logits that token produced. Both are immutable once
 // cached — samplers copy logits into their own scratch, and states are
-// cloned on the way out.
+// cloned on the way out. The version tags the weights generation that
+// computed the snapshot; a worker on different weights treats it as a miss.
 type prefixEntry struct {
-	state  *model.GenState
-	logits []float32
+	state   *model.GenState
+	logits  []float32
+	version uint64
+}
+
+// resultEntry is a finished token sequence tagged with the weights
+// generation that produced it; Submit serves it only while that generation
+// is still current.
+type resultEntry struct {
+	version uint64
+	tokens  []int
 }
 
 // resultKey encodes the full request identity. Any field that can change

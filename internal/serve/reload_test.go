@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zipflm/internal/model"
+	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
+)
+
+// reloadModels returns two same-architecture models with different
+// weights — the "before" and "after" of a checkpoint reload.
+func reloadModels() (v1, v2 *model.LM) {
+	cfg := model.Config{Vocab: 120, Dim: 12, Hidden: 18, RNN: model.KindLSTM, Seed: 21}
+	v1 = model.NewLM(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 77
+	v2 = model.NewLM(cfg2)
+	v2.Cfg.Seed = cfg.Seed // same architecture identity, different weights
+	return v1, v2
+}
+
+// TestReloadBitIdenticalAcrossBoundary is the hot-reload acceptance
+// contract: requests issued concurrently with a Reload must each be
+// bit-identical to sequential generation on whichever weights generation
+// admitted them (reported in Result.WeightsVersion), with zero sheds
+// attributable to the reload. Run under -race in CI, this also proves the
+// swap is properly synchronized with the batchers.
+func TestReloadBitIdenticalAcrossBoundary(t *testing.T) {
+	m1, m2 := reloadModels()
+	s := New(m1, Config{Workers: 2, MaxBatch: 4, QueueDepth: 256, CacheEntries: 64, PrefixEntries: 32})
+	defer s.Close()
+
+	makeReqs := func(n int, seedBase uint64) []Request {
+		r := rng.New(seedBase)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			prompt := make([]int, 1+r.Intn(5))
+			for j := range prompt {
+				prompt[j] = r.Intn(m1.Cfg.Vocab)
+			}
+			opts := sampling.DecodeOpts{}
+			if i%3 == 1 {
+				opts.Temperature = 0.9
+			}
+			reqs[i] = Request{Prompt: prompt, N: 2 + r.Intn(8), Opts: opts, Seed: seedBase + uint64(i)}
+		}
+		return reqs
+	}
+
+	check := func(t *testing.T, req Request, res *Result) {
+		t.Helper()
+		var ref []int
+		switch res.WeightsVersion {
+		case 1:
+			ref = m1.GenerateOpts(req.Prompt, req.N, req.Opts, rng.New(req.Seed))
+		case 2:
+			ref = m2.GenerateOpts(req.Prompt, req.N, req.Opts, rng.New(req.Seed))
+		default:
+			t.Errorf("unknown weights version %d", res.WeightsVersion)
+			return
+		}
+		if len(res.Tokens) != len(ref) {
+			t.Errorf("v%d: got %d tokens, want %d", res.WeightsVersion, len(res.Tokens), len(ref))
+			return
+		}
+		for i := range ref {
+			if res.Tokens[i] != ref[i] {
+				t.Errorf("v%d: token %d differs from sequential generation", res.WeightsVersion, i)
+				return
+			}
+		}
+	}
+
+	// Wave 1 races with the Reload: each response may legitimately land on
+	// either generation and must match that generation exactly.
+	wave1 := makeReqs(48, 1000)
+	var wg sync.WaitGroup
+	results1 := make([]*Result, len(wave1))
+	for i, req := range wave1 {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			res, err := s.Submit(req)
+			if err != nil {
+				t.Errorf("wave1 request %d shed: %v", i, err)
+				return
+			}
+			results1[i] = res
+		}(i, req)
+	}
+	time.Sleep(time.Millisecond)
+	v, err := s.Reload(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("reload returned version %d", v)
+	}
+	wg.Wait()
+	for i, res := range results1 {
+		if res != nil {
+			check(t, wave1[i], res)
+		}
+	}
+
+	// Wave 2 is submitted strictly after Reload returned: a worker never
+	// admits on old weights once its pending swap is set, so every
+	// response must carry version 2 — including repeats of wave-1
+	// requests, which must not be served from the stale result cache.
+	wave2 := append(makeReqs(24, 2000), wave1[:8]...)
+	results2 := make([]*Result, len(wave2))
+	for i, req := range wave2 {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			res, err := s.Submit(req)
+			if err != nil {
+				t.Errorf("wave2 request %d shed: %v", i, err)
+				return
+			}
+			results2[i] = res
+		}(i, req)
+	}
+	wg.Wait()
+	for i, res := range results2 {
+		if res == nil {
+			continue
+		}
+		if res.WeightsVersion != 2 {
+			t.Errorf("wave2 request %d served by weights v%d after reload", i, res.WeightsVersion)
+		}
+		check(t, wave2[i], res)
+	}
+
+	snap := s.Stats()
+	if snap.Shed != 0 || snap.Expired != 0 {
+		t.Errorf("reload shed traffic: %d shed, %d expired", snap.Shed, snap.Expired)
+	}
+	if snap.WeightsVersion != 2 || snap.Reloads != 1 {
+		t.Errorf("stats report version %d after %d reloads", snap.WeightsVersion, snap.Reloads)
+	}
+}
+
+// TestReloadInvalidatesCaches: a request answered from cache before a
+// reload must be regenerated on the new weights afterwards — both the
+// result cache and the prefix cache are generation-tagged.
+func TestReloadInvalidatesCaches(t *testing.T) {
+	m1, m2 := reloadModels()
+	s := New(m1, Config{MaxBatch: 2, QueueDepth: 16, CacheEntries: 16, PrefixEntries: 8})
+	defer s.Close()
+
+	req := Request{Prompt: []int{3, 1, 4}, N: 6, Opts: sampling.DecodeOpts{Temperature: 0.8}, Seed: 5}
+	first, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same request again: hot, and on v1.
+	again, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.WeightsVersion != 1 {
+		t.Fatalf("expected a v1 cache hit, got %+v", again)
+	}
+	if _, err := s.Reload(m2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CacheHit {
+		t.Fatal("post-reload request served from the stale result cache")
+	}
+	if after.WeightsVersion != 2 {
+		t.Fatalf("post-reload request served by v%d", after.WeightsVersion)
+	}
+	want := m2.GenerateOpts(req.Prompt, req.N, req.Opts, rng.New(req.Seed))
+	for i := range want {
+		if after.Tokens[i] != want[i] {
+			t.Fatal("post-reload response not bit-identical to the new weights (stale prefix state?)")
+		}
+	}
+	_ = first
+}
+
+// TestReloadRejectsMismatchedArchitecture: a reload is a weights update,
+// not a model swap.
+func TestReloadRejectsMismatchedArchitecture(t *testing.T) {
+	m1, _ := reloadModels()
+	s := New(m1, Config{})
+	defer s.Close()
+	other := model.NewLM(model.Config{Vocab: 120, Dim: 12, Hidden: 20, RNN: model.KindLSTM, Seed: 1})
+	if _, err := s.Reload(other); err == nil {
+		t.Fatal("mismatched hidden size must be rejected")
+	}
+	otherV := model.NewLM(model.Config{Vocab: 90, Dim: 12, Hidden: 18, RNN: model.KindLSTM, Seed: 1})
+	if _, err := s.Reload(otherV); err == nil {
+		t.Fatal("mismatched vocabulary must be rejected")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zipflm/internal/model"
@@ -75,6 +76,11 @@ type Result struct {
 	PrefixHit bool
 	// Latency is submit-to-completion wall time.
 	Latency time.Duration
+	// WeightsVersion identifies the weights generation that produced the
+	// tokens (1 = the model the server started with; each Reload
+	// increments it). Tokens are bit-identical to sequential
+	// model.Generate on that generation's weights.
+	WeightsVersion uint64
 }
 
 // Config tunes a Server.
@@ -132,13 +138,15 @@ type task struct {
 }
 
 type taskDone struct {
-	tokens []int
-	err    error
+	tokens  []int
+	version uint64 // weights generation that produced the tokens
+	err     error
 }
 
 // Server is the serving subsystem: admission queue, workers, caches, stats.
 type Server struct {
 	cfg     Config
+	vocab   int // immutable copy of the model vocabulary (Reload preserves it)
 	queue   chan *task
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -148,6 +156,11 @@ type Server struct {
 	results *lruCache
 	prefix  *lruCache
 	workers []*worker
+	// version is the current weights generation; reloadMu serializes
+	// Reload calls so versions hand out monotonically with their replicas.
+	version  atomic.Uint64
+	reloads  atomic.Int64
+	reloadMu sync.Mutex
 }
 
 // New builds a Server over the given model. The model is cloned into one
@@ -158,12 +171,14 @@ func New(m *model.LM, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
+		vocab:   m.Cfg.Vocab,
 		queue:   make(chan *task, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		stats:   newStatsCollector(cfg.MaxBatch),
 		results: newLRUCache(cfg.CacheEntries),
 		prefix:  newLRUCache(cfg.PrefixEntries),
 	}
+	s.version.Store(1)
 	for i := 0; i < cfg.Workers; i++ {
 		replica := model.NewLM(m.Cfg)
 		replica.CopyWeightsFrom(m)
@@ -176,6 +191,41 @@ func New(m *model.LM, cfg Config) *Server {
 		}()
 	}
 	return s
+}
+
+// Reload swaps the serving weights with zero downtime: each worker keeps
+// generating with its current replica until every in-flight sequence it
+// holds has retired, then installs the new weights at a step boundary and
+// resumes admitting. In-flight sequences therefore finish on the weights
+// that admitted them, new admissions get the new ones, and nothing is
+// dropped. Both caches are versioned, so entries produced by older weights
+// can never answer newer requests. The new weights generation number is
+// returned; Result.WeightsVersion reports which generation served each
+// request.
+//
+// The architecture must match the serving model's (same replica shapes) —
+// a reload is a weights update, not a model swap.
+func (s *Server) Reload(m *model.LM) (uint64, error) {
+	cur := s.workers[0].arch // immutable after New
+	got := m.Cfg
+	if got.Vocab != cur.Vocab || got.Dim != cur.Dim || got.Hidden != cur.Hidden ||
+		got.RNN != cur.RNN || got.RHNDepth != cur.RHNDepth {
+		return 0, fmt.Errorf("serve: reload architecture %+v does not match serving %+v", got, cur)
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	v := s.version.Add(1)
+	for _, w := range s.workers {
+		replica := model.NewLM(m.Cfg)
+		replica.CopyWeightsFrom(m)
+		w.pending.Store(&pendingModel{m: replica, version: v})
+	}
+	// Drop the old weights' cached work eagerly; the per-entry version
+	// tags are what guarantee correctness for anything that races in.
+	s.results.reset()
+	s.prefix.reset()
+	s.reloads.Add(1)
+	return v, nil
 }
 
 // validate rejects malformed requests before they cost anything.
@@ -206,7 +256,7 @@ func (s *Server) validate(req Request, vocab int) error {
 // when the server closes mid-request, and validation errors verbatim.
 func (s *Server) Submit(req Request) (*Result, error) {
 	start := time.Now()
-	if err := s.validate(req, s.workers[0].m.Cfg.Vocab); err != nil {
+	if err := s.validate(req, s.vocab); err != nil {
 		return nil, err
 	}
 	// An already-expired deadline is shed before anything else — including
@@ -219,15 +269,21 @@ func (s *Server) Submit(req Request) (*Result, error) {
 
 	// Result-cache fast path: a hot request never touches a worker. With
 	// the cache disabled, skip the key construction too — the uncached
-	// configurations must not pay for bookkeeping they never use.
+	// configurations must not pay for bookkeeping they never use. Entries
+	// are tagged with the weights generation that produced them: a stale
+	// entry (pre-reload weights) is a miss, never a wrong answer.
 	var key string
 	if s.results != nil {
 		key = resultKey(req.Prompt, req.N, req.Opts, req.Seed)
-		if val, ok := s.results.get(key); ok {
-			tokens := append([]int(nil), val.([]int)...)
+		cur := s.version.Load()
+		if val, ok := s.results.getIf(key, func(v any) bool {
+			return v.(*resultEntry).version == cur
+		}); ok {
+			entry := val.(*resultEntry)
+			tokens := append([]int(nil), entry.tokens...)
 			lat := time.Since(start)
 			s.stats.onComplete(len(tokens), lat)
-			return &Result{Tokens: tokens, CacheHit: true, Latency: lat}, nil
+			return &Result{Tokens: tokens, CacheHit: true, Latency: lat, WeightsVersion: entry.version}, nil
 		}
 	}
 
@@ -256,9 +312,9 @@ func (s *Server) Submit(req Request) (*Result, error) {
 	lat := time.Since(start)
 	s.stats.onComplete(len(d.tokens), lat)
 	if s.results != nil {
-		s.results.put(key, d.tokens)
+		s.results.put(key, &resultEntry{version: d.version, tokens: d.tokens})
 	}
-	res := &Result{Tokens: append([]int(nil), d.tokens...), PrefixHit: t.prefix, Latency: lat}
+	res := &Result{Tokens: append([]int(nil), d.tokens...), PrefixHit: t.prefix, Latency: lat, WeightsVersion: d.version}
 	return res, nil
 }
 
@@ -267,6 +323,8 @@ func (s *Server) Stats() Snapshot {
 	snap := s.stats.snapshot()
 	snap.ResultHits, snap.ResultMisses, snap.ResultEvicted, snap.ResultEntries = s.results.counters()
 	snap.PrefixHits, snap.PrefixMisses, snap.PrefixEvicted, snap.PrefixEntries = s.prefix.counters()
+	snap.WeightsVersion = s.version.Load()
+	snap.Reloads = s.reloads.Load()
 	return snap
 }
 

@@ -93,6 +93,10 @@ type Snapshot struct {
 	ResultEntries                           int
 	PrefixHits, PrefixMisses, PrefixEvicted uint64
 	PrefixEntries                           int
+	// WeightsVersion is the current weights generation (1 at start; each
+	// Reload increments it); Reloads counts completed Reload calls.
+	WeightsVersion uint64
+	Reloads        int64
 }
 
 // HitRate returns result-cache hits / lookups, 0 when no lookups happened.

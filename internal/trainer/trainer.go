@@ -20,10 +20,12 @@
 package trainer
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"time"
 
+	"zipflm/internal/ckpt"
 	"zipflm/internal/cluster"
 	"zipflm/internal/collective"
 	"zipflm/internal/core"
@@ -34,6 +36,7 @@ import (
 	"zipflm/internal/perfmodel"
 	"zipflm/internal/sampling"
 	"zipflm/internal/tensor"
+	"zipflm/internal/vclock"
 )
 
 // Config assembles one distributed training run.
@@ -105,6 +108,34 @@ type Config struct {
 	// reach (paper §V: 0.40 word LM, 0.64 char LM); ≤ 0 means peak. Only
 	// meaningful with Hardware.
 	SimAchievedFrac float64
+	// CheckpointEvery captures a full-state checkpoint every this many
+	// global steps (0 disables). The capture is read-only, so it never
+	// perturbs the training trajectory. With CheckpointDir set the state
+	// is also written to disk (atomically, CRC-framed); without it the
+	// latest capture is held in memory as the fault-rollback point only.
+	CheckpointEvery int
+	// CheckpointDir is the on-disk store (a ckpt.Dir) checkpoints land in.
+	CheckpointDir string
+	// CheckpointKeepLast / CheckpointKeepEvery tune the store's retention
+	// (keep-last-N rollback tier, keep-every-K-steps archive tier); zero
+	// values take ckpt.NewDir's defaults.
+	CheckpointKeepLast  int
+	CheckpointKeepEvery int
+	// Faults injects rank failures at simulated times: after any step
+	// whose virtual clock crosses a scheduled failure, the trainer rolls
+	// every replica back to the last checkpoint (or the initial state) and
+	// replays. Requires Hardware — without the virtual clock "when a rank
+	// dies" is undefined.
+	Faults *ckpt.FaultPlan
+	// SimCheckpointSeconds is the modeled wall-clock cost of writing one
+	// checkpoint at paper scale (state bytes ÷ storage bandwidth), charged
+	// to every rank's clock at each capture — checkpoints are a global
+	// barrier. Only meaningful with Hardware.
+	SimCheckpointSeconds float64
+	// SimRestartSeconds is the modeled cost of detecting a dead rank,
+	// reloading the checkpoint on its replacement, and rejoining. Only
+	// meaningful with Hardware.
+	SimRestartSeconds float64
 }
 
 // EvalPoint is one validation measurement.
@@ -197,6 +228,27 @@ type Trainer struct {
 	step      int
 	lr        float64
 	nextDecay int
+	// ckptDir is the on-disk store (nil without Config.CheckpointDir);
+	// lastCkpt is the newest captured state — the fault-rollback target.
+	ckptDir  *ckpt.Dir
+	lastCkpt *ckpt.State
+	ftStats  FaultStats
+}
+
+// FaultStats aggregates the fault-tolerance side of a run: how many
+// checkpoints were captured, how many failures were injected, and how much
+// work and simulated time they cost.
+type FaultStats struct {
+	// Checkpoints captured (written to disk when a store is configured).
+	Checkpoints int
+	// Faults consumed from the plan.
+	Faults int
+	// LostSteps is the total steps rolled back and replayed.
+	LostSteps int
+	// SimCheckpointSeconds / SimRestartSeconds are the virtual seconds
+	// charged for checkpoint writes and failure recoveries.
+	SimCheckpointSeconds float64
+	SimRestartSeconds    float64
 }
 
 // New builds a trainer over the given train/validation token streams. The
@@ -279,8 +331,187 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	}
 	t.lr = cfg.LR
 	t.nextDecay = t.StepsPerEpoch()
+	if cfg.Faults != nil && cfg.Hardware == nil {
+		return nil, fmt.Errorf("trainer: Faults need Hardware — failure times are defined on the virtual clock")
+	}
+	if cfg.CheckpointDir != "" {
+		dir, err := ckpt.NewDir(cfg.CheckpointDir, cfg.CheckpointKeepLast, cfg.CheckpointKeepEvery)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		t.ckptDir = dir
+	}
+	if cfg.Faults != nil {
+		// A fault before the first periodic checkpoint rolls back to the
+		// initial state, so capture it up front.
+		st, err := t.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		t.lastCkpt = st
+	}
 	return t, nil
 }
+
+// Resume builds a trainer over cfg and restores the newest checkpoint from
+// the given directory (written by a previous run with
+// Config.CheckpointDir). The token streams and configuration must match
+// the checkpointing run's for the resumed trajectory to be bit-identical
+// to an uninterrupted one.
+func Resume(cfg Config, dir string, train, valid []int) (*Trainer, error) {
+	d, err := ckpt.NewDir(dir, cfg.CheckpointKeepLast, cfg.CheckpointKeepEvery)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	st, err := d.Latest()
+	if err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	t, err := New(cfg, train, valid)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.RestoreState(st); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CaptureState snapshots the full training state at the current step
+// boundary: model weights and optimizer state once (replicas are
+// bit-identical between steps — the §II-B invariant ReplicasInSync
+// asserts), RNG streams and carried recurrent state per rank, and the
+// step/LR-schedule position. The capture is read-only.
+func (t *Trainer) CaptureState() (*ckpt.State, error) {
+	var mb bytes.Buffer
+	if err := t.models[0].Save(&mb); err != nil {
+		return nil, fmt.Errorf("trainer: checkpoint: %w", err)
+	}
+	st := &ckpt.State{
+		Step:       t.step,
+		LR:         t.lr,
+		NextDecay:  t.nextDecay,
+		Ranks:      t.cfg.Ranks,
+		ModelBytes: mb.Bytes(),
+	}
+	if sn, ok := t.opts[0].(optim.Snapshotter); ok {
+		st.Opt = sn.Snapshot()
+	}
+	for r := 0; r < t.cfg.Ranks; r++ {
+		st.RNG = append(st.RNG, t.models[r].RNGState())
+	}
+	if t.cfg.Model.Stateful {
+		for r := 0; r < t.cfg.Ranks; r++ {
+			st.RNN = append(st.RNN, t.models[r].CarriedRNNState())
+		}
+	}
+	return st, nil
+}
+
+// RestoreState reinstates a state captured by CaptureState (possibly in a
+// previous process): every replica's weights, every optimizer's moments,
+// per-rank RNG streams and carried recurrent state, and the step/LR
+// position. After it returns, the next trained step is exactly the one an
+// uninterrupted run would have executed.
+func (t *Trainer) RestoreState(st *ckpt.State) error {
+	if st.Ranks != t.cfg.Ranks {
+		return fmt.Errorf("trainer: checkpoint spans %d ranks, cluster has %d", st.Ranks, t.cfg.Ranks)
+	}
+	lm, err := st.LM()
+	if err != nil {
+		return fmt.Errorf("trainer: restore: %w", err)
+	}
+	if lm.Cfg != t.models[0].Cfg {
+		return fmt.Errorf("trainer: checkpoint model %+v does not match configured %+v", lm.Cfg, t.models[0].Cfg)
+	}
+	if st.Opt.Kind != "" {
+		for r := 0; r < t.cfg.Ranks; r++ {
+			sn, ok := t.opts[r].(optim.Snapshotter)
+			if !ok {
+				return fmt.Errorf("trainer: checkpoint carries %q optimizer state but the configured optimizer cannot restore it", st.Opt.Kind)
+			}
+			if err := sn.Restore(st.Opt); err != nil {
+				return fmt.Errorf("trainer: restore: %w", err)
+			}
+		}
+	}
+	for r := 0; r < t.cfg.Ranks; r++ {
+		t.models[r].CopyWeightsFrom(lm)
+		if len(st.RNG) == t.cfg.Ranks {
+			t.models[r].SetRNGState(st.RNG[r])
+		}
+		if len(st.RNN) == t.cfg.Ranks {
+			if err := t.models[r].SetCarriedRNNState(st.RNN[r]); err != nil {
+				return fmt.Errorf("trainer: restore: %w", err)
+			}
+		} else {
+			t.models[r].ResetRNNState()
+		}
+	}
+	t.step = st.Step
+	t.lr = st.LR
+	t.nextDecay = st.NextDecay
+	t.lastCkpt = st
+	return nil
+}
+
+// afterStep runs the fault-tolerance bookkeeping after each committed
+// step: periodic checkpoint capture (plus the modeled write barrier on the
+// virtual clock), then failure injection — any fault whose simulated time
+// has passed rolls the run back to the last checkpoint. It reports whether
+// a rollback happened so callers can discard bookkeeping for the replayed
+// span.
+func (t *Trainer) afterStep() (rolledBack bool, err error) {
+	if t.cfg.CheckpointEvery > 0 && t.step%t.cfg.CheckpointEvery == 0 {
+		st, err := t.CaptureState()
+		if err != nil {
+			return false, err
+		}
+		if t.ckptDir != nil {
+			if _, err := t.ckptDir.Save(st); err != nil {
+				return false, fmt.Errorf("trainer: %w", err)
+			}
+		}
+		t.lastCkpt = st
+		t.ftStats.Checkpoints++
+		if t.cfg.Hardware != nil && t.cfg.SimCheckpointSeconds > 0 {
+			vclock.SyncAdvance(t.clu.Clocks(), t.cfg.SimCheckpointSeconds)
+			t.ftStats.SimCheckpointSeconds += t.cfg.SimCheckpointSeconds
+		}
+	}
+	if t.cfg.Faults != nil {
+		for {
+			now := t.clu.MaxClock()
+			_, ok := t.cfg.Faults.Next(now)
+			if !ok {
+				break
+			}
+			// The scheduled rank died at its simulated time: every step since
+			// the last checkpoint is lost. Restore the checkpoint into the
+			// replacement's (and every survivor's) replica and charge the
+			// recovery. Virtual time never rewinds — the lost span stays on
+			// the clock as wasted time, which is exactly what goodput
+			// measures.
+			t.ftStats.Faults++
+			t.ftStats.LostSteps += t.step - t.lastCkpt.Step
+			if err := t.RestoreState(t.lastCkpt); err != nil {
+				return true, err
+			}
+			rolledBack = true
+			if t.cfg.SimRestartSeconds > 0 {
+				vclock.SyncAdvance(t.clu.Clocks(), t.cfg.SimRestartSeconds)
+				t.ftStats.SimRestartSeconds += t.cfg.SimRestartSeconds
+			}
+		}
+	}
+	return rolledBack, nil
+}
+
+// FaultStats returns the run's fault-tolerance counters so far.
+func (t *Trainer) FaultStats() FaultStats { return t.ftStats }
+
+// Step returns the global step counter (the number of committed steps).
+func (t *Trainer) Step() int { return t.step }
 
 // lrForStep returns the learning rate for the current global step,
 // applying the per-epoch decay (§IV-B) the first time each epoch boundary
@@ -390,9 +621,9 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 	wireBefore := t.comm.MaxStats().Total()
 	seeds := sampling.Assign(t.cfg.SeedStrategy, t.cfg.Ranks, t.cfg.BaseSeed+1)
 
-	totalSteps := epochs * stepsPerEpoch
+	target := t.step + epochs*stepsPerEpoch
 	lastEval := t.step - evalEvery
-	for s := 0; s < totalSteps; s++ {
+	for t.step < target {
 		step := t.step
 		lr := t.lrForStep()
 		t.resetStateAtEpoch()
@@ -409,9 +640,32 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 		res.Stats.SimComputeSeconds += stats.simCompute
 		res.Stats.SimSyncSeconds += stats.simSync
 
+		rolled, err := t.afterStep()
+		if err != nil {
+			return res, err
+		}
+		if rolled {
+			// An injected failure rolled the run back: drop evaluations
+			// recorded past the restored step (the loop will replay and
+			// re-record them) and keep going toward the same commit target.
+			for len(res.Evals) > 0 &&
+				res.Evals[len(res.Evals)-1].Epoch > (float64(t.step)+0.5)/float64(stepsPerEpoch) {
+				res.Evals = res.Evals[:len(res.Evals)-1]
+			}
+			if n := len(res.Evals); n > 0 {
+				res.FinalLoss = res.Evals[n-1].Loss
+			} else {
+				res.FinalLoss = 0
+			}
+			if lastEval >= t.step {
+				lastEval = t.step - evalEvery
+			}
+			continue
+		}
+
 		// Validate on the periodic schedule, plus once at the very end
 		// unless a periodic eval just happened.
-		if (step+1)%evalEvery == 0 || (s == totalSteps-1 && step-lastEval >= evalEvery/2) {
+		if (step+1)%evalEvery == 0 || (t.step == target && step-lastEval >= evalEvery/2) {
 			lastEval = step
 			loss := t.Validate()
 			ep := EvalPoint{
@@ -428,19 +682,25 @@ func (t *Trainer) Run(epochs int, evalsPerEpoch int) (Result, error) {
 	return res, nil
 }
 
-// Steps runs n consecutive training steps without validating — the raw
-// hot loop the step benchmarks and the overlap experiment time. It
-// advances the trainer's global step counter and the LR-decay schedule,
-// so consecutive calls (and a later Run) consume fresh batches at the
-// schedule's current learning rate rather than retraining from step zero.
+// Steps runs training until n more steps are committed, without
+// validating — the raw hot loop the step benchmarks and the overlap/faults
+// experiments time. It advances the trainer's global step counter and the
+// LR-decay schedule, so consecutive calls (and a later Run) consume fresh
+// batches at the schedule's current learning rate rather than retraining
+// from step zero. Under failure injection, rolled-back steps are replayed
+// until the commit target is reached (FaultStats reports the lost work).
 func (t *Trainer) Steps(n int) error {
 	seeds := sampling.Assign(t.cfg.SeedStrategy, t.cfg.Ranks, t.cfg.BaseSeed+1)
-	for i := 0; i < n; i++ {
+	target := t.step + n
+	for t.step < target {
 		t.resetStateAtEpoch()
 		if _, err := t.trainStep(t.step, t.lrForStep(), seeds); err != nil {
 			return err
 		}
 		t.step++
+		if _, err := t.afterStep(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

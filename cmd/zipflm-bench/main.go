@@ -4,8 +4,12 @@
 //
 //	zipflm-bench -list
 //	zipflm-bench -exp tab3
+//	zipflm-bench -exp compress,weakscale
 //	zipflm-bench -exp all [-quick] [-seed 42]
 //	zipflm-bench -exp weakscale -json BENCH_weakscale.json
+//
+// -list prints the registered experiment ids; an unknown -exp id fails
+// before anything runs and prints the same enumeration.
 //
 // Every experiment prints paper-reported values alongside the values this
 // reproduction measures or models, so discrepancies are visible in place.
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"zipflm/internal/experiments"
 )
@@ -60,7 +65,7 @@ func toJSONReport(rep *experiments.Report) jsonReport {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id to run, or 'all'")
+		exp      = flag.String("exp", "all", "experiment id(s) to run, comma-separated, or 'all'")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quick    = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
 		seed     = flag.Uint64("seed", 42, "reproducibility seed")
@@ -84,7 +89,36 @@ func main() {
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	ids := experiments.IDs()
 	if *exp != "all" {
-		ids = []string{*exp}
+		// Validate every requested id before running anything, so a typo
+		// late in a comma-separated list cannot waste the earlier runs —
+		// and the error enumerates what is available.
+		known := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			known[id] = true
+		}
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if id == "all" {
+				ids = append(ids, experiments.IDs()...)
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "zipflm-bench: unknown experiment %q; registered experiments are:\n", id)
+				for _, k := range experiments.IDs() {
+					fmt.Fprintf(os.Stderr, "  %s\n", k)
+				}
+				os.Exit(1)
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "zipflm-bench: -exp named no experiments (use -list to see ids)")
+			os.Exit(1)
+		}
 	}
 	out := jsonOutput{Seed: *seed, Quick: *quick}
 	for _, id := range ids {

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 
+	"zipflm/internal/collective"
+	"zipflm/internal/compress"
 	"zipflm/internal/core"
 	"zipflm/internal/corpus"
 	"zipflm/internal/half"
@@ -42,6 +44,10 @@ func main() {
 		seeding   = flag.String("seeding", "zipf", "sampled-softmax seeds: g, same, log2, loge, log10, zipf")
 		fp16      = flag.Bool("fp16", false, "FP16 wire compression with compression-scaling")
 		scale     = flag.Float64("scale", 512, "compression-scaling factor F")
+		compFlag  = flag.String("compress", "none", "dense-gradient compression: none, topk (error-feedback sparsification) or q8 (8-bit stochastic quant)")
+		compRatio = flag.Float64("compress-ratio", 0.01, "top-k fraction of entries sent per tensor per step")
+		compMom   = flag.Float64("compress-momentum", 0.9, "DGC momentum correction for top-k (0 disables)")
+		compZipf  = flag.Bool("compress-zipf", false, "tune the embedding-class top-k ratio from the corpus's type-token law")
 		lr        = flag.Float64("lr", 0.2, "base learning rate (scaled by ln(nodes) per the paper)")
 		lrDecay   = flag.Float64("lr-decay", 0.9, "per-epoch learning-rate decay (paper: 0.85-0.95; 1 disables)")
 		epochs    = flag.Int("epochs", 2, "training epochs")
@@ -79,7 +85,7 @@ func main() {
 	if *exchange == "baseline" {
 		ex = core.BaselineAllGather{}
 	}
-	var wire *half.Scaler
+	var wire collective.Wire
 	if *fp16 {
 		wire = half.NewScaler(float32(*scale))
 	}
@@ -103,6 +109,37 @@ func main() {
 	}
 	if *adam {
 		cfg.NewOptimizer = func() optim.Optimizer { return optim.NewAdam(1e-5) }
+	}
+	switch *compFlag {
+	case "none":
+	case "topk", "q8":
+		cc := &compress.Config{Ratio: *compRatio, Momentum: *compMom}
+		if *compFlag == "topk" {
+			cc.Method = compress.MethodTopK
+		} else {
+			cc.Method = compress.MethodQuant8
+			cc.Stochastic = true
+		}
+		if *compZipf {
+			if cc.Method != compress.MethodTopK {
+				// The Zipf-derived ratio only steers top-k selection;
+				// quantization has no per-tensor ratio to tune, so
+				// pretending the flag applied would be misleading.
+				fmt.Fprintln(os.Stderr, "zipflm-train: -compress-zipf only applies to -compress topk")
+				os.Exit(1)
+			}
+			globalBatch := *ranks * *batch * *seqLen
+			if err := cc.ZipfTune(train, vocab, globalBatch); err != nil {
+				fmt.Fprintf(os.Stderr, "zipflm-train: -compress-zipf: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("compression: zipf-tuned embedding ratio %.3f (rank-frequency α = %.2f)\n",
+				cc.EmbedRatio, cc.RankAlpha)
+		}
+		cfg.Compress = cc
+	default:
+		fmt.Fprintf(os.Stderr, "zipflm-train: unknown -compress %q (none, topk, q8)\n", *compFlag)
+		os.Exit(1)
 	}
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery

@@ -81,4 +81,24 @@
 // that admitted them, caches are generation-tagged — and zipflm-serve
 // wires it to POST /v1/reload, a checkpoint-directory watcher (-watch),
 // and graceful SIGINT/SIGTERM drain.
+//
+// # Gradient compression: top-k error feedback, 8-bit quantization
+//
+// internal/compress multiplies the wire savings of §III-A and §III-C on
+// the dense gradient side. The collective layer's wire precision is now an
+// interface (collective.Wire) rather than the FP16 scaler alone, so
+// compress.Quant8 — 8-bit quantization with per-chunk scales and
+// deterministic stochastic rounding — rides the zero-copy ring all-reduce
+// exactly where FP16 does, at 4× under FP32 for any cluster size. Top-k
+// sparsification with momentum-corrected error feedback travels a new
+// compressed all-reduce (collective.AllReduceCompressed): per-rank opaque
+// payloads all-gather and every rank decode-sums them in rank order, which
+// keeps replicas bit-identical while Stats records the real compressed
+// bytes and the virtual clock prices them. A Zipf-aware policy leaves
+// small tensors uncompressed and tunes embedding-class ratios from the
+// corpus's own type–token law (powerlaw.FitRankFrequency); per-rank
+// residual state rides in version-2 checkpoints so compressed runs resume
+// bit-identically. The "compress" experiment (zipflm-bench -exp compress)
+// measures bytes and loss deltas on a real run and reprices the
+// weak-scaling step model with compressed payloads.
 package zipflm

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"zipflm/internal/collective"
 	"zipflm/internal/core"
 	"zipflm/internal/corpus"
 	"zipflm/internal/half"
@@ -30,7 +31,7 @@ func main() {
 	type variant struct {
 		name string
 		ex   core.Exchanger
-		wire *half.Scaler
+		wire collective.Wire
 	}
 	variants := []variant{
 		{"baseline allgather (FP32)", core.BaselineAllGather{}, nil},

@@ -30,12 +30,16 @@ import (
 	"os"
 	"path/filepath"
 
+	"zipflm/internal/compress"
 	"zipflm/internal/model"
 	"zipflm/internal/optim"
 )
 
-// Version guards the checkpoint file format.
-const Version = 1
+// Version guards the checkpoint file format. Version 2 added the per-rank
+// gradient-compression state (error-feedback residuals, momentum
+// velocities, quantizer RNG streams); version-1 files — written before
+// compression existed — still decode, with no compression state.
+const Version = 2
 
 // magic identifies a zipflm full-state checkpoint file.
 var magic = [8]byte{'Z', 'L', 'M', 'C', 'K', 'P', 'T', 0}
@@ -72,6 +76,12 @@ type State struct {
 	// RNN holds each rank's carried recurrent state for stateful
 	// (truncated-BPTT) runs; nil for stateless runs.
 	RNN []model.CarriedState
+	// Compress holds each rank's gradient-compression carry-over
+	// (error-feedback residuals, momentum velocities, quantizer streams),
+	// in rank order; nil when the run trains uncompressed. Unlike weights
+	// and optimizer moments, this state diverges across ranks — each rank
+	// withholds different gradient mass — so all G copies are stored.
+	Compress []compress.EngineState
 }
 
 // LM decodes the embedded model into a fresh replica.
@@ -150,6 +160,9 @@ func Decode(r io.Reader) (*State, error) {
 	}
 	if len(st.RNN) != 0 && len(st.RNN) != st.Ranks {
 		return nil, fmt.Errorf("ckpt: %d carried states for %d ranks", len(st.RNN), st.Ranks)
+	}
+	if len(st.Compress) != 0 && len(st.Compress) != st.Ranks {
+		return nil, fmt.Errorf("ckpt: %d compression states for %d ranks", len(st.Compress), st.Ranks)
 	}
 	return st, nil
 }

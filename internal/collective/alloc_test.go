@@ -65,7 +65,7 @@ func skipIfRace(t *testing.T) {
 // reintroducing per-hop payload allocation fails here immediately.
 func TestAllReduceZeroAllocSteadyState(t *testing.T) {
 	skipIfRace(t)
-	for _, wire := range []*half.Scaler{nil, half.NewScaler(256)} {
+	for _, wire := range []Wire{nil, half.NewScaler(256)} {
 		g := 4
 		c := New(g)
 		xs := make([][]float32, g)
@@ -119,7 +119,7 @@ func TestAllGatherIntsAllocBound(t *testing.T) {
 // included (RoundTrip must stay in place).
 func TestAllGatherFloatsAllocBound(t *testing.T) {
 	skipIfRace(t)
-	for _, wire := range []*half.Scaler{nil, half.NewScaler(256)} {
+	for _, wire := range []Wire{nil, half.NewScaler(256)} {
 		g := 4
 		c := New(g)
 		local := make([][]float32, g)

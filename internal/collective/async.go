@@ -1,7 +1,5 @@
 package collective
 
-import "zipflm/internal/half"
-
 // This file implements the bucketed, asynchronous all-reduce path
 // (Horovod/DDP-style): a rank submits gradient tensors as backpropagation
 // produces them, the communicator coalesces consecutive submissions into
@@ -56,7 +54,7 @@ func (p *Pending) Wait() { <-p.done }
 type asyncQueue struct {
 	bucket [][]float32
 	elems  int
-	wire   *half.Scaler
+	wire   Wire
 	// done is the current bucket's completion channel, created at its
 	// first submission and shared by all its Pending handles.
 	done chan struct{}
@@ -88,7 +86,7 @@ func (c *Comm) SetBucketBytes(n int64) {
 // payload crosses the bucket threshold (SetBucketBytes), the wire scaler
 // changes, or FlushAsync is called. Byte accounting and reduced values are
 // bit-identical to synchronous per-tensor AllReduce calls.
-func (c *Comm) AllReduceAsync(rank int, x []float32, wire *half.Scaler) *Pending {
+func (c *Comm) AllReduceAsync(rank int, x []float32, wire Wire) *Pending {
 	q := &c.async[rank]
 	if len(q.bucket) > 0 && q.wire != wire {
 		c.flushBucket(rank)

@@ -34,7 +34,7 @@ func makeTensors(g int, shapes []int, seed uint64) (syncT, asyncT [][][]float32)
 
 // reduceBoth runs the same tensor sequence through the synchronous and the
 // bucketed asynchronous path on separate communicators and returns both.
-func reduceBoth(t *testing.T, g int, shapes []int, wire *half.Scaler, bucketBytes int64) (syncT, asyncT [][][]float32, syncC, asyncC *Comm) {
+func reduceBoth(t *testing.T, g int, shapes []int, wire Wire, bucketBytes int64) (syncT, asyncT [][][]float32, syncC, asyncC *Comm) {
 	t.Helper()
 	syncT, asyncT = makeTensors(g, shapes, 7)
 	syncC, asyncC = New(g), New(g)
@@ -122,7 +122,7 @@ func TestAsyncWireChangeClosesBucket(t *testing.T) {
 	wire := half.NewScaler(256)
 	shapes := []int{9, 9, 9, 9}
 	syncT, asyncT := makeTensors(g, shapes, 11)
-	wireOf := func(i int) *half.Scaler {
+	wireOf := func(i int) Wire {
 		if i >= 2 {
 			return wire
 		}

@@ -30,9 +30,35 @@ package collective
 import (
 	"fmt"
 	"sync"
-
-	"zipflm/internal/half"
 )
+
+// Wire models a lossy wire precision for float payloads. Every synchronous
+// collective (and every async bucket) optionally round-trips its payload
+// through a Wire at the points the data crosses the simulated interconnect,
+// and accounts wire bytes through WireBytes instead of assuming 4 bytes per
+// element. half.Scaler (FP16 compression-scaling, §III-C) and
+// compress.Quant8 (8-bit per-chunk stochastic quantization) both implement
+// it; a nil Wire keeps FP32 on the wire.
+//
+// Callers must pass a nil interface — not a typed nil pointer wrapped in the
+// interface — to mean "no compression".
+type Wire interface {
+	// RoundTrip applies one wire crossing to x in place: compress, then
+	// decompress. It must be deterministic for a given receiver state.
+	RoundTrip(x []float32)
+	// WireBytes reports how many bytes n elements occupy on the wire,
+	// including any side data (scales, headers) the format carries.
+	WireBytes(n int) int
+}
+
+// wireSize returns the wire footprint of n float32 elements under wire
+// (4 bytes per element when wire is nil).
+func wireSize(wire Wire, n int) int64 {
+	if wire == nil {
+		return int64(4 * n)
+	}
+	return int64(wire.WireBytes(n))
+}
 
 // Comm coordinates collectives across g ranks. One Comm is shared by all
 // rank goroutines; each method is called by every rank with its own rank id
@@ -48,11 +74,13 @@ type Comm struct {
 	ring      []chan []float32
 	asyncRing []chan []float32
 
-	// buf / intBuf pool float32 and int blackboard stash buffers, recycled
-	// once their collective completes, which keeps the gather/broadcast
-	// paths allocation-free apart from the caller-owned result copies.
-	buf    sync.Pool
-	intBuf sync.Pool
+	// buf / intBuf / byteBuf pool float32, int and byte blackboard stash
+	// buffers, recycled once their collective completes, which keeps the
+	// gather/broadcast paths allocation-free apart from the caller-owned
+	// result copies.
+	buf     sync.Pool
+	intBuf  sync.Pool
+	byteBuf sync.Pool
 
 	// blackboard for gather/broadcast style ops. Entries are pooled
 	// buffers owned by the writing rank; a rank recycles its previous
@@ -61,6 +89,7 @@ type Comm struct {
 	mu     sync.Mutex
 	intsBB []*[]int
 	f32BB  []*[]float32
+	byteBB []*[]byte
 
 	// barrier closes every synchronous collective; asyncBarrier closes
 	// every async bucket (bucket k on one rank pairs with bucket k on
@@ -136,6 +165,7 @@ func New(g int) *Comm {
 		asyncRing:    make([]chan []float32, g),
 		intsBB:       make([]*[]int, g),
 		f32BB:        make([]*[]float32, g),
+		byteBB:       make([]*[]byte, g),
 		barrier:      NewBarrier(g),
 		asyncBarrier: NewBarrier(g),
 		stats:        make([]Stats, g),
@@ -272,7 +302,7 @@ func (c *Comm) stashInts(rank int, local []int) {
 // stashFloats is the float32 counterpart of stashInts; when wire is non-nil
 // the stashed copy is FP16 round-tripped (the payload crosses the wire once
 // in half precision).
-func (c *Comm) stashFloats(rank int, local []float32, wire *half.Scaler) {
+func (c *Comm) stashFloats(rank int, local []float32, wire Wire) {
 	p := c.getBuf(len(local))
 	copy(*p, local)
 	if wire != nil {
@@ -326,7 +356,7 @@ func (c *Comm) addAllReduceStats(rank int, calls, bytes int64) {
 // *before* sending; the unrounded partial sum is dead at that point —
 // every scatter-sent chunk is later overwritten wholesale by the
 // all-gather phase.)
-func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32, wire *half.Scaler) int64 {
+func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32, wire Wire) int64 {
 	g := c.g
 	if g == 1 {
 		return 0
@@ -347,10 +377,8 @@ func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32,
 				// overwritten by the all-gather phase later, so the
 				// unrounded value is dead.
 				wire.RoundTrip(seg)
-				bytes += int64(half.Bytes(hi - lo))
-			} else {
-				bytes += int64(4 * (hi - lo))
 			}
+			bytes += wireSize(wire, hi-lo)
 			ring[next] <- seg
 			in := <-ring[rank]
 			qlo, qhi := chunkRange(len(parts[pi]), g, recvIdx)
@@ -364,10 +392,11 @@ func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32,
 		}
 	}
 	// After scatter-reduce this rank owns the fully reduced chunk
-	// (rank+1) mod G. With FP16 on the wire every other rank receives a
-	// rounded copy; round the owner's copy identically so all ranks end
-	// bit-identical (FP16 round-tripping is idempotent, so the value
-	// survives later forwarding hops unchanged).
+	// (rank+1) mod G. With a lossy wire every other rank receives the
+	// owner's rounded bytes; round the owner's copy identically so all
+	// ranks end bit-identical. The all-gather phase forwards those exact
+	// bytes without re-rounding (one wire crossing per value), so replica
+	// identity never depends on the wire format being idempotent.
 	if wire != nil {
 		own := (rank + 1) % g
 		for _, p := range parts {
@@ -375,19 +404,15 @@ func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32,
 			wire.RoundTrip(p[lo:hi])
 		}
 	}
-	// All-gather: circulate the fully reduced chunks. Payloads are already
-	// FP16-rounded when wire is non-nil (rounding is idempotent), so no
-	// further rounding happens here.
+	// All-gather: circulate the fully reduced chunks. Payloads were
+	// wire-rounded once by their owning rank above, so no further rounding
+	// happens here.
 	for step := 0; step < g-1; step++ {
 		sendIdx := ((rank-step+1)%g + g) % g
 		recvIdx := ((rank-step)%g + g) % g
 		for pi, p := range parts {
 			lo, hi := chunkRange(len(p), g, sendIdx)
-			if wire != nil {
-				bytes += int64(half.Bytes(hi - lo))
-			} else {
-				bytes += int64(4 * (hi - lo))
-			}
+			bytes += wireSize(wire, hi-lo)
 			ring[next] <- p[lo:hi]
 			in := <-ring[rank]
 			qlo, qhi := chunkRange(len(parts[pi]), g, recvIdx)
@@ -401,16 +426,24 @@ func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32,
 }
 
 // AllReduce sums x elementwise across all ranks; on return every rank's x
-// holds the global sum. wire == nil keeps FP32 on the wire; a non-nil scaler
-// applies FP16 compression-scaling to every hop (§III-C). All ranks must
-// pass equal-length slices.
+// holds the global sum. wire == nil keeps FP32 on the wire; a non-nil Wire
+// (FP16 compression-scaling of §III-C, 8-bit quantization, …) is applied to
+// every hop: each scatter-reduce hop rounds the partial sum it forwards (so
+// a chunk's value is re-rounded up to G−1 times, by different ranks, and
+// lossy-wire error compounds with G exactly as on real fabrics), and each
+// fully reduced chunk is rounded once more by its owning rank before the
+// all-gather forwards those bytes verbatim. Replica identity rests on that
+// final owner round plus verbatim forwarding — not on any exactly-once
+// property — which is also why per-rank Wire *instances* may differ (e.g.
+// rank-seeded stochastic quantizers) as long as the format matches. All
+// ranks must pass equal-length slices.
 //
 // The implementation is a ring all-reduce: G−1 scatter-reduce steps then
 // G−1 all-gather steps, each moving one 1/G-sized chunk to the next rank —
 // zero-copy and zero-allocation. The closing barrier guarantees that on
 // return no peer still reads this rank's buffer, so the caller may mutate
 // x immediately.
-func (c *Comm) AllReduce(rank int, x []float32, wire *half.Scaler) {
+func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
 	var parts [1][]float32
 	parts[0] = x
 	bytes := c.ringAllReduce(c.ring, rank, parts[:], wire)
@@ -418,11 +451,8 @@ func (c *Comm) AllReduce(rank int, x []float32, wire *half.Scaler) {
 		c.barrier.Wait()
 	}
 	c.charge(rank, func(cm *CostModel) {
-		es := 4
-		if wire != nil {
-			es = half.Bytes(1)
-		}
-		cm.Charge(cm.Link.RingAllReduceSeconds(c.g, len(x), es))
+		chunk := (len(x) + c.g - 1) / c.g
+		cm.Charge(cm.Link.RingAllReduceSecondsBytes(c.g, wireSize(wire, chunk)))
 	})
 	c.addAllReduceStats(rank, 1, bytes)
 }
@@ -467,12 +497,12 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 // AllGatherFloats gathers each rank's float32 slice to every rank, FP32 or
 // FP16 on the wire. This is the expensive baseline exchange of §II-B: the
 // result materializes G dense gradient blocks on every rank.
-func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][]float32 {
+func (c *Comm) AllGatherFloats(rank int, local []float32, wire Wire) [][]float32 {
 	c.stashFloats(rank, local, wire)
 	c.barrier.Wait()
 
 	out := make([][]float32, c.g)
-	var totalElems, maxElems int
+	var totalBytes, maxBytes int64
 	c.mu.Lock()
 	for r, s := range c.f32BB {
 		var src []float32
@@ -482,22 +512,19 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire *half.Scaler) [][
 		cp := make([]float32, len(src))
 		copy(cp, src)
 		out[r] = cp
-		totalElems += len(src)
-		if len(src) > maxElems {
-			maxElems = len(src)
+		b := wireSize(wire, len(src))
+		totalBytes += b
+		if b > maxBytes {
+			maxBytes = b
 		}
 	}
-	perElem := int64(4)
-	if wire != nil {
-		perElem = 2
-	}
-	bytes := perElem * int64(totalElems) * int64(c.g-1) / int64(c.g)
+	bytes := totalBytes * int64(c.g-1) / int64(c.g)
 	c.stats[rank].AllGatherCalls++
 	c.stats[rank].AllGatherBytes += bytes
 	c.mu.Unlock()
 	c.barrier.Wait()
 	c.charge(rank, func(cm *CostModel) {
-		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, perElem*int64(maxElems)))
+		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, maxBytes))
 	})
 	return out
 }

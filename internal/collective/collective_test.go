@@ -229,7 +229,7 @@ func TestAllGatherFloats(t *testing.T) {
 
 func TestAllGatherFloatsFP16HalvesBytes(t *testing.T) {
 	const g, n = 4, 100
-	run := func(wire *half.Scaler) int64 {
+	run := func(wire Wire) int64 {
 		c := New(g)
 		runRanks(g, func(rank int) {
 			c.AllGatherFloats(rank, make([]float32, n), wire)

@@ -1,0 +1,155 @@
+package collective
+
+import "fmt"
+
+// This file is the compressed collective path the gradient-compression
+// subsystem (internal/compress) rides on. Sparsifying compressors (top-k
+// with error feedback) cannot travel the ring all-reduce — summing two
+// ranks' sparse selections densifies the payload mid-ring — so, like
+// Deep-Gradient-Compression-style production stacks, the compressed
+// all-reduce is an all-gather of per-rank opaque payloads followed by an
+// identical local decode-and-sum on every rank:
+//
+//  1. each rank encodes its contribution into a payload (indices + values,
+//     quantized blocks, … — the collective never interprets the bytes);
+//  2. the payloads all-gather over the blackboard, accounted at the real
+//     ring all-gather volume of the *compressed* bytes;
+//  3. every rank zeroes its buffer and decodes all G payloads in rank
+//     order, so the accumulated result — float addition in a fixed order —
+//     is bit-identical on every rank and across reruns.
+//
+// Determinism therefore needs nothing from the scheduler: payload bytes are
+// produced before the exchange, and the decode order is the rank order.
+
+// Decoder decodes one compressed payload produced by the caller's encoder,
+// accumulating the carried values into acc. All ranks of one
+// AllReduceCompressed call must pass functionally identical decoders: the
+// final replica equality rests on every rank decoding the same payloads the
+// same way. DecodeAdd must not retain payload (it aliases pooled blackboard
+// memory).
+type Decoder interface {
+	DecodeAdd(acc []float32, payload []byte) error
+}
+
+// stashBytes publishes a copy of local as rank's byte-blackboard entry,
+// recycling the rank's previous entry into the arena (safe: the previous
+// collective's closing barrier means no reader still holds it).
+func (c *Comm) stashBytes(rank int, local []byte) {
+	p := c.getByteBuf(len(local))
+	copy(*p, local)
+	c.mu.Lock()
+	if old := c.byteBB[rank]; old != nil {
+		c.putByteBuf(old)
+	}
+	c.byteBB[rank] = p
+	c.mu.Unlock()
+}
+
+// getByteBuf / putByteBuf are the byte-payload arena backing the compressed
+// blackboard, mirroring getBuf/getIntBuf.
+func (c *Comm) getByteBuf(n int) *[]byte {
+	if p, ok := c.byteBuf.Get().(*[]byte); ok && p != nil {
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	s := make([]byte, n)
+	return &s
+}
+
+func (c *Comm) putByteBuf(p *[]byte) { c.byteBuf.Put(p) }
+
+// AllGatherBytes gathers each rank's (possibly different-length) opaque
+// payload; every rank receives the per-rank payloads in rank order. Wire
+// accounting is the standard ring all-gather volume of the actual payload
+// bytes — the primitive the compressed all-reduce (and any future
+// compressed gather) builds on. The returned inner slices are copies owned
+// by the caller.
+func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
+	c.stashBytes(rank, local)
+	c.barrier.Wait()
+
+	out := make([][]byte, c.g)
+	var total, max int64
+	c.mu.Lock()
+	for r, s := range c.byteBB {
+		var src []byte
+		if s != nil {
+			src = *s
+		}
+		cp := make([]byte, len(src))
+		copy(cp, src)
+		out[r] = cp
+		total += int64(len(src))
+		if int64(len(src)) > max {
+			max = int64(len(src))
+		}
+	}
+	bytes := total * int64(c.g-1) / int64(c.g)
+	c.stats[rank].AllGatherCalls++
+	c.stats[rank].AllGatherBytes += bytes
+	c.mu.Unlock()
+	c.barrier.Wait()
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, max))
+	})
+	return out
+}
+
+// AllReduceCompressed sums lossily compressed contributions across ranks:
+// every rank passes its own encoded payload plus the destination buffer x,
+// and on return every rank's x holds the identical sum of all G decoded
+// payloads (x's previous contents are discarded — the caller's encoder
+// already consumed them). Unlike AllReduce, the result is the sum of what
+// survived each rank's compressor, not of the raw tensors; the caller's
+// error-feedback state carries the difference into the next step.
+//
+// Stats accounting lands on the AllReduce counters (this is the dense
+// gradient exchange, just compressed) at the ring all-gather volume of the
+// real payload bytes, and the cost model prices the same volume — so a
+// ratio below one shows up directly as fewer wire bytes and less simulated
+// communication time.
+func (c *Comm) AllReduceCompressed(rank int, x []float32, payload []byte, dec Decoder) error {
+	c.stashBytes(rank, payload)
+	c.barrier.Wait()
+
+	// Snapshot the payload pointers; entries stay valid until their owner
+	// stashes again, which the closing barrier below forbids until every
+	// rank is done decoding.
+	payloads := make([][]byte, c.g)
+	var total, max int64
+	c.mu.Lock()
+	for r, s := range c.byteBB {
+		if s != nil {
+			payloads[r] = *s
+		}
+		total += int64(len(payloads[r]))
+		if int64(len(payloads[r])) > max {
+			max = int64(len(payloads[r]))
+		}
+	}
+	bytes := total * int64(c.g-1) / int64(c.g)
+	st := &c.stats[rank]
+	st.AllReduceCalls++
+	st.AllReduceBytes += bytes
+	c.mu.Unlock()
+
+	// Decode-and-sum in rank order: same payloads, same order, same float
+	// rounding on every rank.
+	clear(x)
+	var err error
+	for r, p := range payloads {
+		if e := dec.DecodeAdd(x, p); e != nil {
+			err = fmt.Errorf("collective: compressed all-reduce: rank %d payload: %w", r, e)
+			break
+		}
+	}
+	if c.g > 1 {
+		c.barrier.Wait()
+	}
+	c.charge(rank, func(cm *CostModel) {
+		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, max))
+	})
+	return err
+}

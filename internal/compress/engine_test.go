@@ -1,0 +1,226 @@
+package compress
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"zipflm/internal/collective"
+	"zipflm/internal/half"
+)
+
+// runRanks drives one engine per rank over a shared communicator, the way
+// the trainer's rank goroutines do.
+func runRanks(g int, fn func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < g; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// step pushes per-rank gradients through per-rank engines and returns each
+// rank's reduced result.
+func step(t *testing.T, comm *collective.Comm, engines []*Engine, name string, grads [][]float32) {
+	t.Helper()
+	errs := make([]error, len(engines))
+	runRanks(len(engines), func(rank int) {
+		errs[rank] = engines[rank].AllReduce(comm, rank, name, grads[rank])
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func newEngines(t *testing.T, g int, cfg Config, base collective.Wire) []*Engine {
+	t.Helper()
+	cc, err := cfg.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := make([]*Engine, g)
+	for r := range es {
+		es[r] = NewEngine(cc, base, r)
+	}
+	return es
+}
+
+func TestEngineTopKReplicasIdentical(t *testing.T) {
+	const g, n = 4, 600
+	for _, base := range []collective.Wire{nil, half.NewScaler(256)} {
+		comm := collective.New(g)
+		engines := newEngines(t, g, Config{Method: MethodTopK, Ratio: 0.05, Momentum: 0.9, MinElems: 1}, base)
+		grads := make([][]float32, g)
+		for s := 0; s < 5; s++ {
+			for r := range grads {
+				grads[r] = randVec(n, uint64(100*s+r))
+			}
+			step(t, comm, engines, "w", grads)
+			for r := 1; r < g; r++ {
+				for i := range grads[0] {
+					if grads[r][i] != grads[0][i] {
+						t.Fatalf("step %d: rank %d diverges at %d: %v vs %v", s, r, i, grads[r][i], grads[0][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineErrorFeedbackConserves checks the defining property of error
+// feedback: nothing is lost, only delayed. Over any prefix of steps, what
+// was delivered plus what every rank still carries equals the raw gradient
+// sum.
+func TestEngineErrorFeedbackConserves(t *testing.T) {
+	const g, n, steps = 2, 400, 6
+	comm := collective.New(g)
+	engines := newEngines(t, g, Config{Method: MethodTopK, Ratio: 0.02, MinElems: 1}, nil)
+
+	total := make([]float64, n)     // Σ raw gradients over ranks and steps
+	delivered := make([]float64, n) // Σ reduced results over steps
+	grads := make([][]float32, g)
+	for s := 0; s < steps; s++ {
+		for r := range grads {
+			grads[r] = randVec(n, uint64(7000+10*s+r))
+			for i, v := range grads[r] {
+				total[i] += float64(v)
+			}
+		}
+		step(t, comm, engines, "w", grads)
+		for i, v := range grads[0] {
+			delivered[i] += float64(v)
+		}
+	}
+	for i := range total {
+		var carried float64
+		for r := 0; r < g; r++ {
+			carried += float64(engines[r].carries["w"].resid[i])
+		}
+		if diff := math.Abs(delivered[i] + carried - total[i]); diff > 1e-3 {
+			t.Fatalf("element %d leaks gradient mass: delivered %v + carried %v != total %v (diff %v)",
+				i, delivered[i], carried, total[i], diff)
+		}
+	}
+}
+
+func TestEngineSmallTensorsUncompressed(t *testing.T) {
+	const g = 2
+	comm := collective.New(g)
+	engines := newEngines(t, g, Config{Method: MethodTopK, Ratio: 0.01, MinElems: 1000}, nil)
+	grads := [][]float32{randVec(64, 1), randVec(64, 2)}
+	want := make([]float32, 64)
+	for i := range want {
+		want[i] = grads[0][i] + grads[1][i]
+	}
+	step(t, comm, engines, "bias", grads)
+	for i := range want {
+		if grads[0][i] != want[i] {
+			t.Fatalf("small tensor lossy at %d: %v vs exact %v", i, grads[0][i], want[i])
+		}
+	}
+	if len(engines[0].carries) != 0 {
+		t.Fatalf("uncompressed tensor grew a residual carry")
+	}
+}
+
+func TestEngineQuant8CheaperThanFP16(t *testing.T) {
+	const g, n = 4, 4096
+	run := func(cfg Config, base collective.Wire) int64 {
+		comm := collective.New(g)
+		engines := newEngines(t, g, cfg, base)
+		grads := make([][]float32, g)
+		for r := range grads {
+			grads[r] = randVec(n, uint64(r))
+		}
+		step(t, comm, engines, "w", grads)
+		return comm.MaxStats().AllReduceBytes
+	}
+	fp32 := run(Config{Method: MethodNone}, nil)
+	fp16 := run(Config{Method: MethodNone}, half.NewScaler(256))
+	q8 := run(Config{Method: MethodQuant8, MinElems: 1, Stochastic: true, Seed: 3}, nil)
+	if !(q8 < fp16 && fp16 < fp32) {
+		t.Fatalf("wire bytes not ordered: q8 %d, fp16 %d, fp32 %d", q8, fp16, fp32)
+	}
+}
+
+// TestEngineSnapshotRestore: an engine restored from a snapshot must
+// produce the byte-identical future the original would have.
+func TestEngineSnapshotRestore(t *testing.T) {
+	const g, n = 2, 512
+	cfg := Config{Method: MethodTopK, Ratio: 0.03, Momentum: 0.8, MinElems: 1}
+	commA := collective.New(g)
+	enginesA := newEngines(t, g, cfg, nil)
+	gradAt := func(s, r int) []float32 { return randVec(n, uint64(31*s+r)) }
+
+	grads := make([][]float32, g)
+	for s := 0; s < 3; s++ {
+		for r := range grads {
+			grads[r] = gradAt(s, r)
+		}
+		step(t, commA, enginesA, "w", grads)
+	}
+	snaps := make([]EngineState, g)
+	for r := range snaps {
+		snaps[r] = enginesA[r].Snapshot()
+	}
+
+	// Fresh engines restored mid-run.
+	commB := collective.New(g)
+	enginesB := newEngines(t, g, cfg, nil)
+	for r := range enginesB {
+		if err := enginesB[r].Restore(snaps[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 3; s < 6; s++ {
+		a := make([][]float32, g)
+		b := make([][]float32, g)
+		for r := 0; r < g; r++ {
+			a[r] = gradAt(s, r)
+			b[r] = gradAt(s, r)
+		}
+		step(t, commA, enginesA, "w", a)
+		step(t, commB, enginesB, "w", b)
+		for i := range a[0] {
+			if a[0][i] != b[0][i] {
+				t.Fatalf("step %d: restored engine diverges at %d: %v vs %v", s, i, b[0][i], a[0][i])
+			}
+		}
+	}
+
+	// Snapshot mutation safety: later steps must not alter the capture.
+	again := enginesA[0].Snapshot()
+	if len(again.Tensors) != 1 || len(snaps[0].Tensors) != 1 {
+		t.Fatalf("unexpected tensor counts in snapshots")
+	}
+	same := true
+	for i, v := range snaps[0].Tensors[0].Residual {
+		if again.Tensors[0].Residual[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("residual did not evolve after 3 more steps — snapshot likely aliases live state")
+	}
+}
+
+func TestEngineRestoreRejectsMismatch(t *testing.T) {
+	cc, _ := Config{Method: MethodQuant8, Stochastic: true}.Validate()
+	e := NewEngine(cc, nil, 0)
+	if err := e.Restore(EngineState{}); err == nil {
+		t.Fatal("quantizing engine accepted a snapshot with no RNG stream")
+	}
+	cc2, _ := Config{Method: MethodTopK, Ratio: 0.1}.Validate()
+	e2 := NewEngine(cc2, nil, 0)
+	err := e2.Restore(EngineState{Tensors: []TensorState{{Name: "w", Residual: make([]float32, 4), Momentum: make([]float32, 4)}}})
+	if err == nil {
+		t.Fatal("momentum-off engine accepted momentum state")
+	}
+}

@@ -1,0 +1,203 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"zipflm/internal/half"
+)
+
+// Top-k payload wire format (little endian):
+//
+//	byte  0       flags (bit 0: values are FP16)
+//	bytes 1..4    F, the FP16 compression-scaling factor (FP32; 0 when FP32)
+//	bytes 5..8    n, the uncompressed tensor length (u32)
+//	bytes 9..12   k, the selected entry count (u32)
+//	k × u32       indices, strictly ascending
+//	k × f32|f16   values
+//
+// The format is self-describing, so the decoder needs no out-of-band
+// configuration and one Decoder instance serves every rank — the property
+// the compressed all-reduce's replica-identity argument rests on.
+
+const topKHeaderBytes = 1 + 4 + 4 + 4
+
+const topKFlagFP16 = 1 << 0
+
+// TopKPayloadBytes returns the wire size of a top-k payload carrying k
+// entries (fp16 halves the value bytes).
+func TopKPayloadBytes(k int, fp16 bool) int {
+	vb := 4
+	if fp16 {
+		vb = 2
+	}
+	return topKHeaderBytes + k*(4+vb)
+}
+
+// EncodeTopK appends one payload to dst and returns the extended slice.
+// idx must be ascending positions into the original n-element tensor; vals
+// aligns with idx. With a non-nil scaler the values travel as
+// compression-scaled FP16, and vals is rewritten in place with the decoded
+// (post-wire) values so the caller's error-feedback residual can subtract
+// exactly what the peers will add.
+func EncodeTopK(dst []byte, n int, idx []int, vals []float32, scaler *half.Scaler) []byte {
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("compress: %d indices but %d values", len(idx), len(vals)))
+	}
+	var flags byte
+	var factor float32
+	if scaler != nil {
+		flags |= topKFlagFP16
+		factor = scaler.Factor
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(factor))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(idx)))
+	for _, i := range idx {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
+	}
+	if scaler != nil {
+		inv := 1 / factor
+		for j, v := range vals {
+			h := half.FromFloat32(v * factor)
+			if h.IsInf() {
+				// Saturate exactly like Scaler.RoundTrip: error feedback
+				// can accumulate residual magnitudes past the FP16 range,
+				// and an Inf on the wire would poison every replica's
+				// gradient (and the residual carry) irrecoverably.
+				h = half.MaxFiniteWithSign(h)
+			}
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(h))
+			vals[j] = h.ToFloat32() * inv
+		}
+	} else {
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	}
+	return dst
+}
+
+// TopKDecoder decodes top-k payloads; it implements collective.Decoder. It
+// is stateless, so one instance is safely shared by every rank.
+type TopKDecoder struct{}
+
+// DecodeAdd implements collective.Decoder: acc[idx[j]] += vals[j] for every
+// carried entry. An empty payload is a zero contribution. Malformed
+// payloads — short buffers, lengths that disagree with the tensor,
+// out-of-range or non-ascending indices — return errors rather than
+// corrupting acc beyond the entries already applied.
+func (TopKDecoder) DecodeAdd(acc []float32, payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	if len(payload) < topKHeaderBytes {
+		return fmt.Errorf("compress: top-k payload of %d bytes is shorter than its header", len(payload))
+	}
+	flags := payload[0]
+	factor := math.Float32frombits(binary.LittleEndian.Uint32(payload[1:5]))
+	n := int(binary.LittleEndian.Uint32(payload[5:9]))
+	k := int(binary.LittleEndian.Uint32(payload[9:13]))
+	if n != len(acc) {
+		return fmt.Errorf("compress: payload for a %d-element tensor, accumulator has %d", n, len(acc))
+	}
+	fp16 := flags&topKFlagFP16 != 0
+	if want := TopKPayloadBytes(k, fp16); len(payload) != want {
+		return fmt.Errorf("compress: top-k payload carries %d bytes, header implies %d", len(payload), want)
+	}
+	if fp16 && (factor <= 0 || math.IsInf(float64(factor), 0) || math.IsNaN(float64(factor))) {
+		return fmt.Errorf("compress: invalid FP16 scale factor %v", factor)
+	}
+	idxBytes := payload[topKHeaderBytes : topKHeaderBytes+4*k]
+	valBytes := payload[topKHeaderBytes+4*k:]
+	prev := -1
+	var inv float32
+	if fp16 {
+		inv = 1 / factor
+	}
+	for j := 0; j < k; j++ {
+		i := int(binary.LittleEndian.Uint32(idxBytes[4*j:]))
+		if i <= prev || i >= n {
+			return fmt.Errorf("compress: top-k index %d out of order or range (prev %d, n %d)", i, prev, n)
+		}
+		prev = i
+		if fp16 {
+			h := half.Float16(binary.LittleEndian.Uint16(valBytes[2*j:]))
+			acc[i] += h.ToFloat32() * inv
+		} else {
+			acc[i] += math.Float32frombits(binary.LittleEndian.Uint32(valBytes[4*j:]))
+		}
+	}
+	return nil
+}
+
+// selectTopK writes the positions of the k largest-magnitude entries of v
+// into idx (which must have capacity ≥ k) and returns them sorted
+// ascending. Selection is deterministic: magnitude ties keep the lower
+// index, exactly as a (|v| desc, index asc) sort prefix would. A k-bounded
+// min-heap makes it O(n log k) — the same selection shape
+// sampling.Decoder uses for top-k decoding.
+func selectTopK(v []float32, k int, idx []int) []int {
+	if k >= len(v) {
+		idx = idx[:len(v)]
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx = idx[:k]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftSmallest(idx, v, i)
+	}
+	for i := k; i < len(v); i++ {
+		if magWorse(v, idx[0], i) {
+			idx[0] = i
+			siftSmallest(idx, v, 0)
+		}
+	}
+	// Heap order is arbitrary; the wire format wants ascending indices.
+	sort.Ints(idx)
+	return idx
+}
+
+// magWorse orders positions for selection: a is worse than b when its
+// magnitude is smaller, ties going against the higher index.
+func magWorse(v []float32, a, b int) bool {
+	ma, mb := v[a], v[b]
+	if ma < 0 {
+		ma = -ma
+	}
+	if mb < 0 {
+		mb = -mb
+	}
+	if ma != mb {
+		return ma < mb
+	}
+	return a > b
+}
+
+// siftSmallest restores the min-heap property (worst kept entry at the
+// root) below position i.
+func siftSmallest(idx []int, v []float32, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(idx) && magWorse(v, idx[l], idx[m]) {
+			m = l
+		}
+		if r < len(idx) && magWorse(v, idx[r], idx[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		idx[i], idx[m] = idx[m], idx[i]
+		i = m
+	}
+}

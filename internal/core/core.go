@@ -35,7 +35,6 @@ import (
 
 	"zipflm/internal/cluster"
 	"zipflm/internal/collective"
-	"zipflm/internal/half"
 	"zipflm/internal/tensor"
 )
 
@@ -111,9 +110,11 @@ type Ctx struct {
 	Comm *collective.Comm
 	// Dev, when non-nil, accounts scratch memory (and triggers OOM).
 	Dev *cluster.Device
-	// Wire, when non-nil, applies FP16 compression-scaling to gradient
-	// payloads (§III-C). Index payloads always travel as int32.
-	Wire *half.Scaler
+	// Wire, when non-nil, applies lossy wire compression to gradient
+	// payloads — FP16 compression-scaling (§III-C, half.Scaler) or 8-bit
+	// quantization (compress.Quant8). Index payloads always travel as
+	// int32.
+	Wire collective.Wire
 	// WS, when non-nil, supplies reusable per-rank scratch (maps, index
 	// and row buffers) so steady-state exchanges stop churning the
 	// allocator. A Workspace belongs to exactly one rank and must not be

@@ -36,7 +36,7 @@ func makeGrads(g, k, d, vocab int, seed uint64) []SparseGrad {
 
 // runExchange executes ex on all ranks concurrently and returns per-rank
 // results.
-func runExchange(t *testing.T, ex Exchanger, grads []SparseGrad, wire *half.Scaler, devs []*cluster.Device) ([]Update, []Stats) {
+func runExchange(t *testing.T, ex Exchanger, grads []SparseGrad, wire collective.Wire, devs []*cluster.Device) ([]Update, []Stats) {
 	t.Helper()
 	g := len(grads)
 	comm := collective.New(g)

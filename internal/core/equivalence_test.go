@@ -15,7 +15,7 @@ import (
 // calls, exercising the pooled-scratch path the trainer uses. Passing the
 // same wss into consecutive calls reuses warm scratch, which is exactly
 // where stale-state bugs would surface.
-func runExchangeWS(t *testing.T, ex Exchanger, grads []SparseGrad, wire *half.Scaler, wss []*Workspace) []Update {
+func runExchangeWS(t *testing.T, ex Exchanger, grads []SparseGrad, wire collective.Wire, wss []*Workspace) []Update {
 	t.Helper()
 	g := len(grads)
 	comm := collective.New(g)
@@ -90,7 +90,7 @@ func TestCrossEngineEquivalenceProperty(t *testing.T) {
 	for i, s := range shapes {
 		s := s
 		t.Run(fmt.Sprintf("case%02d_g%d_k%d_d%d_v%d_fp16%v", i, s.g, s.k, s.d, s.vocab, s.fp16), func(t *testing.T) {
-			var wire *half.Scaler
+			var wire collective.Wire
 			if s.fp16 {
 				wire = half.NewScaler(256)
 			}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zipflm/internal/collective"
+	"zipflm/internal/compress"
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
+	"zipflm/internal/half"
+	"zipflm/internal/metrics"
+	"zipflm/internal/model"
+	"zipflm/internal/perfmodel"
+	"zipflm/internal/sampling"
+	"zipflm/internal/trainer"
+)
+
+func init() {
+	register("compress",
+		"Gradient compression: top-k + error feedback and 8-bit quant vs dense wire — measured bytes, loss delta, predicted weak scaling",
+		runCompress)
+}
+
+// runCompress evaluates the adaptive gradient-compression subsystem from
+// both ends:
+//
+// Table 1 trains a real (scaled-down, full-softmax) word LM over the
+// simulated cluster once per compressor and reports what each costs and
+// buys: measured dense-gradient wire bytes per rank, predicted step time on
+// the Table II hardware (the virtual clock prices the compressed payloads),
+// and the validation-loss delta against the uncompressed run — error
+// feedback is what keeps that delta small at ratios far below 1.
+//
+// Table 2 prices the same compressors into the paper-scale weak-scaling
+// step model on the *baseline* (§II-B allgather) engine: the dense
+// all-reduce term is repriced per compressor while everything else (sparse
+// gathers, compute, update, overhead) stays the Table II calibration. 8-bit
+// quantization shrinks every ring chunk 4×, so its win holds at every G;
+// the top-k payload all-gather grows ∝ G·k, so its edge narrows as the
+// cluster grows — the same allgather-volume tradeoff DGC-style systems
+// document.
+func runCompress(opts Options) (*Report, error) {
+	ranks := 4
+	batch, seqLen := 4, 12
+	epochs := 2
+	mc := model.Config{Vocab: 300, Dim: 24, Hidden: 32, RNN: model.KindLSTM}
+	streamLen := 60_000
+	if opts.Quick {
+		ranks = 2
+		epochs = 1
+		mc = model.Config{Vocab: 200, Dim: 16, Hidden: 24, RNN: model.KindLSTM}
+		streamLen = 16_000
+	}
+
+	gen := corpus.NewGenerator(corpus.GeneratorConfig{
+		VocabSize:    mc.Vocab - 1,
+		ZipfExponent: 1.1,
+		Seed:         opts.Seed,
+	})
+	stream := gen.Stream(streamLen)
+	train, valid := corpus.Split(stream, 20, 100, opts.Seed)
+
+	// The Zipf-aware policy: tune the embedding-class top-k ratio off the
+	// corpus's measured type–token law. The full-softmax output-embedding
+	// gradient only has non-zero rows for the global batch's unique words,
+	// so this is the ratio the data itself justifies.
+	tuned := compress.Config{Method: compress.MethodTopK, Ratio: 0.05, Momentum: 0.9, MinElems: 256}
+	tuneErr := tuned.ZipfTune(train, mc.Vocab, ranks*batch*seqLen)
+
+	type variant struct {
+		name string
+		wire collective.Wire
+		cmp  *compress.Config
+	}
+	topk1 := tuned
+	topk1.Ratio = 0.01
+	q8 := compress.Config{Method: compress.MethodQuant8, Stochastic: true, MinElems: 256}
+	variants := []variant{
+		{"dense FP32", nil, nil},
+		{"dense FP16 (§III-C)", half.NewScaler(512), nil},
+		{"q8 stochastic", nil, &q8},
+		{"topk 5% + EF momentum", nil, &tuned},
+		{"topk 1% + EF + FP16 vals", half.NewScaler(512), &topk1},
+	}
+
+	hw := perfmodel.TitanX()
+	runOne := func(v variant) (collective.Stats, float64, float64, error) {
+		cc := v.cmp
+		if cc != nil {
+			copied := *cc // trainers normalize their own copy
+			cc = &copied
+		}
+		cfg := trainer.Config{
+			Model:           mc,
+			Ranks:           ranks,
+			BatchPerRank:    batch,
+			SeqLen:          seqLen,
+			LR:              0.3,
+			Exchange:        core.UniqueExchange{},
+			SeedStrategy:    sampling.ZipfFreq,
+			BaseSeed:        opts.Seed,
+			Wire:            v.wire,
+			Compress:        cc,
+			Hardware:        &hw,
+			SimFLOPsPerStep: 1e9,
+			SimAchievedFrac: 0.4,
+		}
+		tr, err := trainer.New(cfg, train, valid)
+		if err != nil {
+			return collective.Stats{}, 0, 0, err
+		}
+		res, err := tr.Run(epochs, 1)
+		if err != nil {
+			return collective.Stats{}, 0, 0, err
+		}
+		if err := tr.ReplicasInSync(); err != nil {
+			return collective.Stats{}, 0, 0, err
+		}
+		return tr.Comm().MaxStats(), res.Stats.SimStepSeconds(), res.FinalLoss, nil
+	}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("Compressed training, %d ranks, %d epochs, full-softmax word LM (unique exchange; virtual clock on %s):",
+			ranks, epochs, hw.Name),
+		"compressor", "dense wire/rank", "vs FP32", "total wire/rank", "sim step ms", "val loss", "Δloss")
+	notes := []string{
+		"dense wire/rank = measured ALLREDUCE traffic (the compressed payloads); the sparse §III-A exchange is untouched and identical across rows",
+		"error feedback carries unsent gradient mass across steps, so top-k at 1-5% keeps the loss delta small instead of dropping 95-99% of the gradient",
+	}
+	if tuneErr != nil {
+		return nil, fmt.Errorf("compress: zipf tune: %w", tuneErr)
+	}
+	notes = append(notes, fmt.Sprintf(
+		"Zipf policy: type-token fit over the training stream sets the embedding-class top-k ratio to %.3f (rank-frequency α = %.2f)",
+		tuned.EmbedRatio, tuned.RankAlpha))
+
+	var ref struct {
+		dense int64
+		loss  float64
+		ok    bool
+	}
+	var topkStats collective.Stats
+	var topkLoss float64
+	topkIdx := -1 // the variant the determinism rerun repeats
+	for vi, v := range variants {
+		st, simStep, loss, err := runOne(v)
+		if err != nil {
+			return nil, err
+		}
+		if !ref.ok {
+			ref.dense, ref.loss, ref.ok = st.AllReduceBytes, loss, true
+		}
+		if v.cmp != nil && v.cmp.Method == compress.MethodTopK && topkIdx < 0 {
+			topkStats, topkLoss, topkIdx = st, loss, vi
+		}
+		tab.AddRow(
+			v.name,
+			metrics.HumanBytes(st.AllReduceBytes),
+			fmt.Sprintf("%.2fx", float64(st.AllReduceBytes)/float64(ref.dense)),
+			metrics.HumanBytes(st.Total()),
+			fmt.Sprintf("%.2f", simStep*1e3),
+			fmt.Sprintf("%.4f", loss),
+			fmt.Sprintf("%+.4f", loss-ref.loss),
+		)
+		if v.cmp != nil && st.AllReduceBytes >= ref.dense {
+			notes = append(notes, fmt.Sprintf(
+				"WARNING: %s wire bytes %d not below uncompressed %d", v.name, st.AllReduceBytes, ref.dense))
+		}
+	}
+
+	// Determinism: rerun the top-k variant and demand bit-identical wire
+	// bytes and loss — compression must not introduce schedule dependence.
+	if topkIdx < 0 {
+		return nil, fmt.Errorf("compress: no top-k variant in the sweep")
+	}
+	againStats, _, againLoss, err := runOne(variants[topkIdx])
+	if err != nil {
+		return nil, err
+	}
+	if againStats == topkStats && againLoss == topkLoss {
+		notes = append(notes, "deterministic: re-running the top-k configuration reproduces wire bytes and validation loss bit-identically")
+	} else {
+		notes = append(notes, fmt.Sprintf(
+			"WARNING: compressed rerun not deterministic (bytes %d vs %d, loss %v vs %v)",
+			againStats.Total(), topkStats.Total(), againLoss, topkLoss))
+	}
+
+	// Part 2: paper-scale pricing — the baseline engine's weak-scaling step
+	// with the dense all-reduce repriced per compressor, Table II links.
+	w := wordLM()
+	gpus := []int{8, 16, 32, 64, 128}
+	if opts.Quick {
+		w.K = 64
+		w.D = 32
+		w.Vocab = 2000
+		w.Samples = 32
+		w.DenseParams = 100_000
+		w.FLOPsPerStep = 1e9
+		w.TokensPerEpoch = 1_000_000
+		gpus = []int{2, 4, 8}
+	}
+	q8w := compress.NewQuant8(0, false, 0)
+	topkRatio := 0.01
+	q8Price := func(link perfmodel.LinkCost, g int, elems int64) float64 {
+		chunk := (int(elems) + g - 1) / g
+		return link.RingAllReduceSecondsBytes(g, int64(q8w.WireBytes(chunk)))
+	}
+	topkPrice := func(link perfmodel.LinkCost, g int, elems int64) float64 {
+		k := int(topkRatio * float64(elems))
+		return link.RingAllGatherSeconds(g, int64(compress.TopKPayloadBytes(k, true)))
+	}
+
+	// Quick runs a miniature workload, so the 12 GB wall never engages;
+	// the full run keeps the real capacity so the baseline's "*" rows land
+	// where Table III puts them (compression shrinks wire bytes, not the
+	// engine's Θ(G·K·D) gather scratch — the wall is the exchange's
+	// problem, and §III-A's).
+	unlimited := opts.Quick
+	tab2 := metrics.NewTable(
+		fmt.Sprintf("%s weak scaling, baseline engine, dense all-reduce repriced per compressor (Table II cost model):", w.Name),
+		"GPUs", "step s (FP32)", "step s (q8)", "step s (topk 1%)", "q8 speedup", "topk speedup")
+	improvedAt := 0
+	var q8Best float64
+	for _, g := range gpus {
+		base, err := runWeakStepPriced(w, g, true, unlimited, opts.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		q8Run, err := runWeakStepPriced(w, g, true, unlimited, opts.Seed, q8Price)
+		if err != nil {
+			return nil, err
+		}
+		topkRun, err := runWeakStepPriced(w, g, true, unlimited, opts.Seed, topkPrice)
+		if err != nil {
+			return nil, err
+		}
+		if base.oom || q8Run.oom || topkRun.oom {
+			tab2.AddRow(fmt.Sprint(g), "*(OOM)", "*(OOM)", "*(OOM)", "-", "-")
+			continue
+		}
+		q8Speed := base.stepSec / q8Run.stepSec
+		topkSpeed := base.stepSec / topkRun.stepSec
+		if q8Run.stepSec < base.stepSec {
+			improvedAt = g
+			q8Best = q8Speed
+		}
+		tab2.AddRow(
+			fmt.Sprint(g),
+			fmt.Sprintf("%.3f", base.stepSec),
+			fmt.Sprintf("%.3f", q8Run.stepSec),
+			fmt.Sprintf("%.3f", topkRun.stepSec),
+			fmt.Sprintf("%.2fx", q8Speed),
+			fmt.Sprintf("%.2fx", topkSpeed),
+		)
+	}
+	if improvedAt > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"weak scaling: 8-bit quantization improves the baseline engine's predicted step time at every running size (%.2fx at %d GPUs) — the ring chunk shrinks 4x at any G",
+			q8Best, improvedAt))
+	} else {
+		notes = append(notes, "WARNING: no predicted step-time improvement from compression on the baseline engine")
+	}
+	notes = append(notes,
+		"top-k travels as a payload all-gather (Θ(G·k) volume), so its predicted edge narrows as G grows — compression ratio must outpace cluster growth, exactly the DGC deployment guidance")
+
+	return &Report{Tables: []*metrics.Table{tab, tab2}, Notes: notes}, nil
+}

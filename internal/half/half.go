@@ -191,15 +191,26 @@ func (s *Scaler) RoundTrip(x []float32) {
 	for i, f := range x {
 		h := FromFloat32(f * s.Factor)
 		if h.IsInf() {
-			if h&f16SignMask != 0 {
-				h = Float16(f16SignMask | 0x7bff) // -max finite
-			} else {
-				h = Float16(0x7bff) // +max finite
-			}
+			h = MaxFiniteWithSign(h)
 		}
 		x[i] = h.ToFloat32() * inv
 	}
 }
+
+// MaxFiniteWithSign returns the largest finite FP16 magnitude carrying h's
+// sign — the saturation value RoundTrip (and any other wire encoder)
+// substitutes for overflow instead of propagating Inf.
+func MaxFiniteWithSign(h Float16) Float16 {
+	if h&f16SignMask != 0 {
+		return Float16(f16SignMask | 0x7bff) // -max finite
+	}
+	return Float16(0x7bff) // +max finite
+}
+
+// WireBytes reports the wire size of n elements under this scaler — the
+// collective.Wire accounting hook (FP16 occupies 2 bytes per element and
+// carries no side data; the scale factor is configuration, not payload).
+func (s *Scaler) WireBytes(n int) int { return Bytes(n) }
 
 // MaxFinite is the largest finite FP16 magnitude.
 const MaxFinite = f16MaxFinite

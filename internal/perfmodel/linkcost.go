@@ -29,12 +29,21 @@ func (l LinkCost) HopSeconds(b int64) float64 {
 // ranks of a payload of elems elements at elemBytes each: 2(g−1) steps, each
 // bounded by the largest chunk in flight (⌈elems/g⌉ elements).
 func (l LinkCost) RingAllReduceSeconds(g, elems, elemBytes int) float64 {
-	if g <= 1 || elems <= 0 {
+	if elems <= 0 {
 		return 0
 	}
-	chunk := int64((elems+g-1)/g) * int64(elemBytes)
-	steps := 2 * (g - 1)
-	return float64(steps) * l.HopSeconds(chunk)
+	return l.RingAllReduceSecondsBytes(g, int64((elems+g-1)/g)*int64(elemBytes))
+}
+
+// RingAllReduceSecondsBytes is the byte-denominated form of
+// RingAllReduceSeconds for wire formats whose footprint is not a whole
+// number of bytes per element (8-bit quantization carries per-chunk scales):
+// 2(g−1) steps of one chunkBytes message each.
+func (l LinkCost) RingAllReduceSecondsBytes(g int, chunkBytes int64) float64 {
+	if g <= 1 || chunkBytes <= 0 {
+		return 0
+	}
+	return float64(2*(g-1)) * l.HopSeconds(chunkBytes)
 }
 
 // RingAllGatherSeconds returns the duration of a ring all-gather over g

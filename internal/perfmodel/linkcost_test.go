@@ -32,6 +32,28 @@ func TestRingAllReduceSeconds(t *testing.T) {
 	}
 }
 
+func TestRingAllReduceSecondsBytes(t *testing.T) {
+	l := LinkCost{Alpha: 2e-5, BytesPerSec: 8e9}
+	// The element-denominated form must agree with the byte-denominated
+	// one at whole elements — the equivalence the Wire-generalized cost
+	// charging in internal/collective relies on.
+	if a, b := l.RingAllReduceSeconds(4, 1000, 4), l.RingAllReduceSecondsBytes(4, 1000); !almostEq(a, b) {
+		t.Fatalf("element form %v != byte form %v", a, b)
+	}
+	// A quantized chunk (1 byte/elem + scales) prices below FP16.
+	q8 := l.RingAllReduceSecondsBytes(4, 250+4)
+	fp16 := l.RingAllReduceSeconds(4, 1000, 2)
+	if q8 >= fp16 {
+		t.Fatalf("q8 chunk %v not below fp16 %v", q8, fp16)
+	}
+	if l.RingAllReduceSecondsBytes(1, 1000) != 0 {
+		t.Fatal("single rank must cost nothing")
+	}
+	if l.RingAllReduceSecondsBytes(4, 0) != 0 {
+		t.Fatal("empty chunk must cost nothing")
+	}
+}
+
 func TestRingAllGatherSeconds(t *testing.T) {
 	l := LinkCost{Alpha: 1e-5, BytesPerSec: 1e9}
 	want := 3 * (1e-5 + 4096/1e9)

@@ -93,6 +93,49 @@ func TestTopKRestrictsSupport(t *testing.T) {
 	}
 }
 
+// TestTopKWiderThanVocab: k ≥ |V| restricts nothing — it must behave
+// exactly like unrestricted sampling (same draws from the same RNG state),
+// not panic, not skew the distribution, for both the pure top-k fast path
+// and the combined top-k/top-p path.
+func TestTopKWiderThanVocab(t *testing.T) {
+	const v = 16
+	r := rng.New(21)
+	logits := make([]float32, v)
+	for i := range logits {
+		logits[i] = float32(r.NormFloat64())
+	}
+	for _, k := range []int{v, v + 1, 10 * v} {
+		for trial := 0; trial < 50; trial++ {
+			free := NewDecoder(v).Sample(logits, DecodeOpts{Temperature: 0.8}, rng.New(uint64(trial)))
+			wide := NewDecoder(v).Sample(logits, DecodeOpts{Temperature: 0.8, TopK: k}, rng.New(uint64(trial)))
+			if free != wide {
+				t.Fatalf("k=%d trial %d: wide top-k drew %d, unrestricted drew %d", k, trial, wide, free)
+			}
+			// Combined with nucleus: the oversized k must not disturb the
+			// pure top-p cut either.
+			p := NewDecoder(v).Sample(logits, DecodeOpts{Temperature: 0.8, TopP: 0.7}, rng.New(uint64(trial)))
+			pk := NewDecoder(v).Sample(logits, DecodeOpts{Temperature: 0.8, TopK: k, TopP: 0.7}, rng.New(uint64(trial)))
+			if p != pk {
+				t.Fatalf("k=%d trial %d: top-p %d vs top-p+wide-k %d", k, trial, p, pk)
+			}
+		}
+		// Greedy with an oversized k stays argmax.
+		if got := NewDecoder(v).Sample(logits, DecodeOpts{TopK: k}, rng.New(1)); got != argmax(logits) {
+			t.Fatalf("k=%d greedy drew %d, argmax is %d", k, got, argmax(logits))
+		}
+	}
+}
+
+func argmax(x []float32) int {
+	bi := 0
+	for i, v := range x {
+		if v > x[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
 // TestTopPRestrictsSupport: a tiny nucleus over a peaked distribution keeps
 // draws at the head.
 func TestTopPRestrictsSupport(t *testing.T) {

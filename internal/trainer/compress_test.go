@@ -1,0 +1,238 @@
+package trainer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zipflm/internal/ckpt"
+	"zipflm/internal/collective"
+	"zipflm/internal/compress"
+	"zipflm/internal/core"
+	"zipflm/internal/half"
+)
+
+// compressConfig is smallConfig with dense-gradient compression engaged on
+// every tensor (the test model's tensors sit below the production MinElems
+// floor, so the floor is dropped to exercise the compressed paths).
+func compressConfig(ranks int, method compress.Method, ratio, momentum float64, stochastic bool, wire collective.Wire) Config {
+	cfg := smallConfig(ranks, core.UniqueExchange{})
+	cfg.Wire = wire
+	cfg.Compress = &compress.Config{
+		Method:     method,
+		Ratio:      ratio,
+		Momentum:   momentum,
+		MinElems:   1,
+		Stochastic: stochastic,
+	}
+	return cfg
+}
+
+func TestCompressRejectsOverlap(t *testing.T) {
+	train, valid := smallData(60, 2000, 3)
+	cfg := compressConfig(2, compress.MethodTopK, 0.05, 0, false, nil)
+	cfg.Overlap = true
+	if _, err := New(cfg, train, valid); err == nil {
+		t.Fatal("Compress+Overlap accepted; async buckets bypass the compressed path")
+	} else if !strings.Contains(err.Error(), "Overlap") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestCompressRejectsBadConfig(t *testing.T) {
+	train, valid := smallData(60, 2000, 3)
+	cfg := compressConfig(2, compress.MethodTopK, 0, 0, false, nil) // ratio 0
+	if _, err := New(cfg, train, valid); err == nil {
+		t.Fatal("zero top-k ratio accepted")
+	}
+}
+
+// TestCompressedTrainingSyncsAndConverges: with every dense gradient going
+// through a lossy compressor, replicas must still end bit-identical every
+// step (the §II-B invariant — compression changes what is summed, never
+// who sums what), and error feedback must keep the run learning.
+func TestCompressedTrainingSyncsAndConverges(t *testing.T) {
+	train, valid := smallData(60, 8000, 1)
+	cases := map[string]Config{
+		"topk":          compressConfig(2, compress.MethodTopK, 0.05, 0, false, nil),
+		"topk-momentum": compressConfig(2, compress.MethodTopK, 0.05, 0.9, false, nil),
+		"topk-fp16":     compressConfig(2, compress.MethodTopK, 0.05, 0, false, half.NewScaler(256)),
+		"q8-stochastic": compressConfig(2, compress.MethodQuant8, 0, 0, true, nil),
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr, err := New(cfg, train, valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := tr.Validate()
+			res, err := tr.Run(2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.ReplicasInSync(); err != nil {
+				t.Fatalf("replicas diverged under compression: %v", err)
+			}
+			if !(res.FinalLoss < before) {
+				t.Fatalf("no learning: loss %v -> %v", before, res.FinalLoss)
+			}
+		})
+	}
+}
+
+// TestCompressedWireBytesBelowDense is the acceptance gate on the byte
+// accounting: at ratio ≪ 1 the dense-gradient traffic (and the total) must
+// come in strictly below the uncompressed run's.
+func TestCompressedWireBytesBelowDense(t *testing.T) {
+	train, valid := smallData(60, 4000, 2)
+	run := func(cfg Config) collective.Stats {
+		tr, err := New(cfg, train, valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Steps(6); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Comm().MaxStats()
+	}
+	dense := run(smallConfig(2, core.UniqueExchange{}))
+	topk := run(compressConfig(2, compress.MethodTopK, 0.02, 0, false, nil))
+	q8 := run(compressConfig(2, compress.MethodQuant8, 0, 0, true, nil))
+
+	if topk.AllReduceBytes >= dense.AllReduceBytes {
+		t.Fatalf("top-k dense traffic %d not below uncompressed %d", topk.AllReduceBytes, dense.AllReduceBytes)
+	}
+	if q8.AllReduceBytes >= dense.AllReduceBytes {
+		t.Fatalf("q8 dense traffic %d not below uncompressed %d", q8.AllReduceBytes, dense.AllReduceBytes)
+	}
+	if topk.Total() >= dense.Total() {
+		t.Fatalf("top-k total %d not below uncompressed %d", topk.Total(), dense.Total())
+	}
+	// The sparse exchange is untouched by dense compression.
+	if topk.AllGatherBytes != dense.AllGatherBytes {
+		t.Fatalf("sparse exchange traffic changed: %d vs %d", topk.AllGatherBytes, dense.AllGatherBytes)
+	}
+}
+
+// TestCompressedDeterministicRerun: same seed, same bytes — replica
+// weights, wire counters, validation loss.
+func TestCompressedDeterministicRerun(t *testing.T) {
+	train, valid := smallData(60, 4000, 5)
+	run := func() (*Trainer, float64) {
+		cfg := compressConfig(2, compress.MethodTopK, 0.03, 0.9, false, half.NewScaler(256))
+		cfg.Compress.Stochastic = true
+		cfg.Compress.Method = compress.MethodTopK
+		tr, err := New(cfg, train, valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Steps(8); err != nil {
+			t.Fatal(err)
+		}
+		return tr, tr.Validate()
+	}
+	a, lossA := run()
+	b, lossB := run()
+	requireIdenticalModels(t, "rerun", a.Model(0), b.Model(0))
+	if lossA != lossB {
+		t.Fatalf("validation loss differs across reruns: %v vs %v", lossA, lossB)
+	}
+	for r := 0; r < 2; r++ {
+		if a.Comm().RankStats(r) != b.Comm().RankStats(r) {
+			t.Fatalf("rank %d wire stats differ across reruns", r)
+		}
+	}
+}
+
+// TestResumeWithCompressionBitIdentical extends the fault-tolerance
+// contract to the compression state: train k → checkpoint → resume → k
+// must equal uninterrupted 2k bit-identically, which can only hold if the
+// per-rank error-feedback residuals, momentum velocities and quantizer
+// streams all survive the checkpoint.
+func TestResumeWithCompressionBitIdentical(t *testing.T) {
+	train, valid := smallData(60, 800, 9)
+	const leg = 10
+	cases := map[string]Config{
+		"topk-momentum-fp16": compressConfig(4, compress.MethodTopK, 0.05, 0.9, false, half.NewScaler(512)),
+		"q8-stochastic":      compressConfig(4, compress.MethodQuant8, 0, 0, true, nil),
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg.Model.Sampled = 12
+			cfg.LRDecay = 0.9
+			assertResumeBitIdentical(t, cfg, train, valid, leg)
+		})
+	}
+}
+
+// TestCompressedCheckpointCarriesResiduals peeks at the capture itself: a
+// compressed run's checkpoint must store one engine state per rank, with
+// live (non-zero) residual mass, and restoring it into a mismatched
+// trainer must fail loudly.
+func TestCompressedCheckpointCarriesResiduals(t *testing.T) {
+	train, valid := smallData(60, 2000, 7)
+	cfg := compressConfig(2, compress.MethodTopK, 0.02, 0, false, nil)
+	tr, err := New(cfg, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Steps(3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Compress) != 2 {
+		t.Fatalf("checkpoint carries %d compression states, want 2", len(st.Compress))
+	}
+	live := false
+	for _, es := range st.Compress {
+		for _, ts := range es.Tensors {
+			for _, v := range ts.Residual {
+				if v != 0 {
+					live = true
+				}
+			}
+		}
+	}
+	if !live {
+		t.Fatal("all residuals zero after 3 steps of 2% top-k — error feedback is not carrying")
+	}
+
+	// Round-trip through the framed encoding: the gob path must preserve
+	// the compression state exactly.
+	var buf bytes.Buffer
+	if err := ckpt.Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ckpt.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range st.Compress {
+		if len(back.Compress[r].Tensors) != len(st.Compress[r].Tensors) {
+			t.Fatalf("rank %d: tensor count changed across encode/decode", r)
+		}
+		for ti, ts := range st.Compress[r].Tensors {
+			bt := back.Compress[r].Tensors[ti]
+			if bt.Name != ts.Name || len(bt.Residual) != len(ts.Residual) {
+				t.Fatalf("rank %d tensor %d reshaped across encode/decode", r, ti)
+			}
+			for i, v := range ts.Residual {
+				if bt.Residual[i] != v {
+					t.Fatalf("rank %d %s residual %d changed across encode/decode", r, ts.Name, i)
+				}
+			}
+		}
+	}
+
+	// A trainer without Compress must refuse the stateful checkpoint.
+	plain, err := New(smallConfig(2, core.UniqueExchange{}), train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.RestoreState(st); err == nil {
+		t.Fatal("uncompressed trainer accepted a checkpoint with compression state")
+	}
+}

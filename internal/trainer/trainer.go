@@ -28,8 +28,8 @@ import (
 	"zipflm/internal/ckpt"
 	"zipflm/internal/cluster"
 	"zipflm/internal/collective"
+	"zipflm/internal/compress"
 	"zipflm/internal/core"
-	"zipflm/internal/half"
 	"zipflm/internal/metrics"
 	"zipflm/internal/model"
 	"zipflm/internal/optim"
@@ -59,8 +59,11 @@ type Config struct {
 	LRDecay float64
 	// Exchange is the embedding-gradient engine (§III-A).
 	Exchange core.Exchanger
-	// Wire, when non-nil, compresses gradient payloads to FP16 (§III-C).
-	Wire *half.Scaler
+	// Wire, when non-nil, compresses gradient payloads on the wire —
+	// half.NewScaler for the paper's FP16 compression-scaling (§III-C);
+	// any collective.Wire works. Must be a nil interface (not a wrapped
+	// typed-nil pointer) to mean FP32.
+	Wire collective.Wire
 	// SeedStrategy controls sampled-softmax seed sharing (§III-B).
 	SeedStrategy sampling.Strategy
 	// NewOptimizer builds one dense-parameter optimizer per rank (stateful
@@ -136,6 +139,17 @@ type Config struct {
 	// reloading the checkpoint on its replacement, and rejoining. Only
 	// meaningful with Hardware.
 	SimRestartSeconds float64
+	// Compress, when non-nil, routes dense gradients through the adaptive
+	// gradient-compression subsystem (internal/compress): top-k with
+	// per-tensor error-feedback residuals via the compressed all-reduce,
+	// or 8-bit per-chunk quantization on the ring wire, per the config's
+	// policy. Composes with any Exchange engine and with the FP16 Wire
+	// (top-k values then travel as FP16 too); the residual state is
+	// carried through checkpoints so resumed runs stay bit-identical. New
+	// rejects Compress combined with Overlap — the async bucket queue
+	// bypasses the compressed path, so a combined run would silently train
+	// uncompressed.
+	Compress *compress.Config
 }
 
 // EvalPoint is one validation measurement.
@@ -228,6 +242,10 @@ type Trainer struct {
 	step      int
 	lr        float64
 	nextDecay int
+	// cmp holds one compression engine per rank (nil when Config.Compress
+	// is nil): the per-rank error-feedback residuals and quantizer
+	// streams.
+	cmp []*compress.Engine
 	// ckptDir is the on-disk store (nil without Config.CheckpointDir);
 	// lastCkpt is the newest captured state — the fault-rollback target.
 	ckptDir  *ckpt.Dir
@@ -329,6 +347,29 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	for r := 0; r < cfg.Ranks; r++ {
 		t.shards[r] = train[r*perRank : (r+1)*perRank]
 	}
+	if cfg.Compress != nil {
+		if cfg.Overlap {
+			// The async bucket queue reduces raw tensors on its own ring;
+			// gradients routed through it would skip the compressors and
+			// their error-feedback accounting entirely, so a combined run
+			// would look configured-but-uncompressed. Mirror the
+			// Hardware+Overlap guard and fail loudly instead.
+			return nil, fmt.Errorf("trainer: Compress cannot combine with Overlap — async buckets bypass the compressed path; run synchronously")
+		}
+		cc, err := cfg.Compress.Validate()
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		if cc.Seed == 0 {
+			// Tie the quantizer streams to the run seed so the whole run
+			// stays reproducible from BaseSeed alone.
+			cc.Seed = cfg.BaseSeed ^ 0xc0445e55c0445e55
+		}
+		t.cmp = make([]*compress.Engine, cfg.Ranks)
+		for r := range t.cmp {
+			t.cmp[r] = compress.NewEngine(cc, cfg.Wire, r)
+		}
+	}
 	t.lr = cfg.LR
 	t.nextDecay = t.StepsPerEpoch()
 	if cfg.Faults != nil && cfg.Hardware == nil {
@@ -405,6 +446,14 @@ func (t *Trainer) CaptureState() (*ckpt.State, error) {
 			st.RNN = append(st.RNN, t.models[r].CarriedRNNState())
 		}
 	}
+	if t.cmp != nil {
+		// Per-rank error-feedback residuals: unsent gradient mass is part
+		// of the training state, so dropping it on resume would change the
+		// trajectory.
+		for r := 0; r < t.cfg.Ranks; r++ {
+			st.Compress = append(st.Compress, t.cmp[r].Snapshot())
+		}
+	}
 	return st, nil
 }
 
@@ -447,6 +496,18 @@ func (t *Trainer) RestoreState(st *ckpt.State) error {
 		} else {
 			t.models[r].ResetRNNState()
 		}
+	}
+	if t.cmp != nil {
+		if len(st.Compress) != t.cfg.Ranks {
+			return fmt.Errorf("trainer: Compress configured but checkpoint carries %d compression states for %d ranks", len(st.Compress), t.cfg.Ranks)
+		}
+		for r := 0; r < t.cfg.Ranks; r++ {
+			if err := t.cmp[r].Restore(st.Compress[r]); err != nil {
+				return fmt.Errorf("trainer: restore: %w", err)
+			}
+		}
+	} else if len(st.Compress) != 0 {
+		return fmt.Errorf("trainer: checkpoint carries compression state but Compress is not configured")
 	}
 	t.step = st.Step
 	t.lr = st.LR
@@ -811,6 +872,25 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 					t.comm.AllReduceAsync(rank, outGrad.Rows.Data, t.cfg.Wire))
 			}
 			t.comm.FlushAsync(rank)
+		} else if t.cmp != nil {
+			// Compressed dense path: each named tensor goes through the
+			// rank's compression engine, which routes it per policy —
+			// base wire, quantized ring, or top-k with error feedback.
+			// The full-softmax output-embedding gradient is dense here
+			// but embedding-shaped, so its name opts it into the policy's
+			// Zipf-derived embedding ratio.
+			for _, p := range m.DenseParams() {
+				if err := t.cmp[rank].AllReduce(t.comm, rank, p.Name, p.Grad); err != nil {
+					errs[rank] = err
+					return nil
+				}
+			}
+			if outDense {
+				if err := t.cmp[rank].AllReduce(t.comm, rank, "outemb", outGrad.Rows.Data); err != nil {
+					errs[rank] = err
+					return nil
+				}
+			}
 		} else {
 			for _, p := range m.DenseParams() {
 				t.comm.AllReduce(rank, p.Grad, t.cfg.Wire)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"zipflm/internal/collective"
 	"zipflm/internal/core"
 	"zipflm/internal/corpus"
 	"zipflm/internal/half"
@@ -194,7 +195,7 @@ func TestRHNFullSoftmaxTraining(t *testing.T) {
 
 func TestFP16WireTrainingCloseToFP32(t *testing.T) {
 	train, valid := smallData(60, 6000, 9)
-	run := func(wire *half.Scaler) float64 {
+	run := func(wire collective.Wire) float64 {
 		cfg := smallConfig(2, core.UniqueExchange{})
 		cfg.Wire = wire
 		tr, err := New(cfg, train, valid)

@@ -56,6 +56,7 @@ func main() {
 		vocabPath = flag.String("vocab", "", "vocabulary file (enables text prompts and word responses)")
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		workers   = flag.Int("workers", 1, "model replicas (one batcher each)")
+		computeW  = flag.Int("compute-workers", 0, "goroutines per matmul (0: ZIPFLM_WORKERS or serial; results identical at any value)")
 		maxBatch  = flag.Int("max-batch", 16, "max sequences per batched step")
 		queue     = flag.Int("queue", 64, "admission queue depth (full queue sheds)")
 		cache     = flag.Int("cache", 1024, "result cache entries (0 disables)")
@@ -96,12 +97,13 @@ func main() {
 	}
 
 	srv := serve.New(m, serve.Config{
-		Workers:       *workers,
-		MaxBatch:      *maxBatch,
-		QueueDepth:    *queue,
-		CacheEntries:  *cache,
-		PrefixEntries: *prefixes,
-		BatchWindow:   *window,
+		Workers:        *workers,
+		ComputeWorkers: *computeW,
+		MaxBatch:       *maxBatch,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		PrefixEntries:  *prefixes,
+		BatchWindow:    *window,
 	})
 	defer srv.Close()
 
@@ -383,26 +385,28 @@ func handleReload(w http.ResponseWriter, r *http.Request, srv *serve.Server, wei
 func statsJSON(s serve.Snapshot, weights *weightsInfo) map[string]any {
 	source, step, at := weights.get()
 	return map[string]any{
-		"uptime_s":        s.Uptime.Seconds(),
-		"accepted":        s.Accepted,
-		"completed":       s.Completed,
-		"shed":            s.Shed,
-		"expired":         s.Expired,
-		"tokens":          s.Tokens,
-		"latency_p50_ms":  float64(s.LatencyP50) / float64(time.Millisecond),
-		"latency_p99_ms":  float64(s.LatencyP99) / float64(time.Millisecond),
-		"latency_mean_ms": float64(s.LatencyMean) / float64(time.Millisecond),
-		"mean_batch":      s.MeanBatch,
-		"batch_dist":      s.BatchDist,
-		"result_hits":     s.ResultHits,
-		"result_misses":   s.ResultMisses,
-		"result_entries":  s.ResultEntries,
-		"prefix_hits":     s.PrefixHits,
-		"prefix_misses":   s.PrefixMisses,
-		"prefix_entries":  s.PrefixEntries,
-		"hit_rate":        s.HitRate(),
-		"weights_version": s.WeightsVersion,
-		"reloads":         s.Reloads,
+		"uptime_s":          s.Uptime.Seconds(),
+		"accepted":          s.Accepted,
+		"completed":         s.Completed,
+		"shed":              s.Shed,
+		"expired":           s.Expired,
+		"expired_in_flight": s.ExpiredInFlight,
+		"discarded_tokens":  s.DiscardedTokens,
+		"tokens":            s.Tokens,
+		"latency_p50_ms":    float64(s.LatencyP50) / float64(time.Millisecond),
+		"latency_p99_ms":    float64(s.LatencyP99) / float64(time.Millisecond),
+		"latency_mean_ms":   float64(s.LatencyMean) / float64(time.Millisecond),
+		"mean_batch":        s.MeanBatch,
+		"batch_dist":        s.BatchDist,
+		"result_hits":       s.ResultHits,
+		"result_misses":     s.ResultMisses,
+		"result_entries":    s.ResultEntries,
+		"prefix_hits":       s.PrefixHits,
+		"prefix_misses":     s.PrefixMisses,
+		"prefix_entries":    s.PrefixEntries,
+		"hit_rate":          s.HitRate(),
+		"weights_version":   s.WeightsVersion,
+		"reloads":           s.Reloads,
 		"checkpoint": map[string]any{
 			"source":    source,
 			"step":      step,

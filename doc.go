@@ -82,6 +82,27 @@
 // wires it to POST /v1/reload, a checkpoint-directory watcher (-watch),
 // and graceful SIGINT/SIGTERM drain.
 //
+// # Multicore backend: goroutine-tiled kernels, bit-identical at any width
+//
+// internal/tensor hides every matmul the models compute behind a pluggable
+// Backend: Serial (the reference kernels) and Parallel, which tiles each
+// kernel's output across a persistent goroutine pool. Tile boundaries are
+// a pure function of shape and worker count, each tile writes a disjoint
+// output range in the serial kernel's exact operation order, and no
+// reduction ever crosses a tile (the transposed-accumulate kernel
+// partitions output rows, not the reduction axis), so results are
+// bit-identical to Serial at every worker count — which is what lets one
+// knob accelerate training, validation, and serving without perturbing any
+// of the repository's exact-bits contracts. Dispatch is allocation-free
+// and small products fall back to the serial kernel. The knob surfaces as
+// zipflm-train -workers / trainer.Config.Workers (rank replicas share one
+// backend), zipflm-serve -compute-workers / serve.Config.ComputeWorkers,
+// zipflm-bench -workers, and the ZIPFLM_WORKERS environment variable,
+// which CI uses to run the whole suite through the tiled backend. Speedup
+// requires GOMAXPROCS > 1; on a single-core host the tiled counts measure
+// dispatch overhead (the BenchmarkStepWorkers* names carry the GOMAXPROCS
+// suffix, so artifacts record which case they measured).
+//
 // # Gradient compression: top-k error feedback, 8-bit quantization
 //
 // internal/compress multiplies the wire savings of §III-A and §III-C on

@@ -177,6 +177,6 @@ func (st *Stepper) Step(ids []int, states []*GenState) *tensor.Matrix {
 	}
 
 	m.proj.ForwardInto(st.p, st.h)
-	tensor.MatMulABTStream(st.logits, st.p, m.OutEmb)
+	m.be.MatMulABTStream(st.logits, st.p, m.OutEmb)
 	return st.logits
 }

@@ -19,6 +19,8 @@ type Linear struct {
 	gw *tensor.Matrix
 	gb []float32
 
+	be tensor.Backend
+
 	// forward cache
 	x *tensor.Matrix
 }
@@ -31,15 +33,18 @@ func NewLinear(in, out int, r *rng.RNG) *Linear {
 		B:  make([]float32, out),
 		gw: tensor.NewMatrix(out, in),
 		gb: make([]float32, out),
+		be: tensor.Serial{},
 	}
 	l.W.RandomizeUniform(r, math.Sqrt(6/float64(in+out)))
 	return l
 }
 
+func (l *Linear) setBackend(be tensor.Backend) { l.be = be }
+
 // Forward computes y = x Wᵀ + b for a B×In input, caching x for Backward.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	y := tensor.NewMatrix(x.Rows, l.Out)
-	tensor.MatMulABT(y, x, l.W)
+	l.be.MatMulABT(y, x, l.W)
 	for r := 0; r < y.Rows; r++ {
 		tensor.AddInPlace(y.Row(r), l.B)
 	}
@@ -51,7 +56,7 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 // caching x — the inference path, which must neither allocate nor disturb a
 // training step's backward state. Values are bit-identical to Forward's.
 func (l *Linear) ForwardInto(y, x *tensor.Matrix) {
-	tensor.MatMulABTStream(y, x, l.W)
+	l.be.MatMulABTStream(y, x, l.W)
 	for r := 0; r < y.Rows; r++ {
 		tensor.AddInPlace(y.Row(r), l.B)
 	}
@@ -64,12 +69,12 @@ func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		panic("model: Linear.Backward before Forward")
 	}
 	// gW += dyᵀ @ x ; gb += column sums of dy ; dx = dy @ W.
-	addOuter(l.gw, dy, l.x)
+	l.be.MatMulATBAcc(l.gw, dy, l.x)
 	for r := 0; r < dy.Rows; r++ {
 		tensor.AddInPlace(l.gb, dy.Row(r))
 	}
 	dx := tensor.NewMatrix(dy.Rows, l.In)
-	tensor.MatMul(dx, dy, l.W)
+	l.be.MatMul(dx, dy, l.W)
 	l.x = nil
 	return dx
 }

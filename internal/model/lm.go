@@ -52,6 +52,7 @@ type recurrent interface {
 	Layer
 	Forward(xs []*tensor.Matrix) []*tensor.Matrix
 	Backward(dhs []*tensor.Matrix) []*tensor.Matrix
+	setBackend(tensor.Backend)
 	// Stateful-training hooks (see state.go).
 	SetCarry(bool)
 	ResetState()
@@ -69,6 +70,7 @@ type LM struct {
 	rnn           recurrent
 	proj          *Linear
 	drop          *dropout
+	be            tensor.Backend
 
 	// caches from ForwardBackward
 	flatIDs []int
@@ -102,8 +104,28 @@ func NewLM(cfg Config) *LM {
 	m.proj = NewLinear(cfg.Hidden, cfg.Dim, r)
 	m.rnn.SetCarry(cfg.Stateful)
 	m.drop = newDropout(cfg.Dropout, cfg.Seed^0x5bd1e995)
+	m.SetBackend(tensor.Default())
 	return m
 }
+
+// SetBackend routes every matmul of this replica — forward, backward, and
+// the batched inference Stepper — through be (nil restores the serial
+// reference). The backend is a runtime property, deliberately outside
+// Config: checkpoints gob-encode Config and Resume compares it exactly, and
+// a resumed run must be free to use a different worker count while staying
+// bit-identical — which every backend guarantees. Existing Steppers keep
+// the backend they were built with; construct them after SetBackend.
+func (m *LM) SetBackend(be tensor.Backend) {
+	if be == nil {
+		be = tensor.Serial{}
+	}
+	m.be = be
+	m.rnn.setBackend(be)
+	m.proj.setBackend(be)
+}
+
+// Backend returns the compute backend this replica currently uses.
+func (m *LM) Backend() tensor.Backend { return m.be }
 
 // DenseLayers returns the layers whose gradients synchronize with a plain
 // ALLREDUCE (the RNN and projection — §II-B: "to update the RNN parameters,
@@ -196,12 +218,12 @@ func (m *LM) ForwardBackwardHooked(inputs, targets [][]int, sampler sampling.Can
 	res := StepResult{}
 	var dp *tensor.Matrix
 	if m.Cfg.Sampled > 0 && sampler != nil {
-		out := SampledSoftmaxLoss(pStacked, m.OutEmb, flatTargets, sampler, m.Cfg.Sampled)
+		out := SampledSoftmaxLoss(m.be, pStacked, m.OutEmb, flatTargets, sampler, m.Cfg.Sampled)
 		res.LossSum, res.Count = out.LossSum, out.Count
 		dp = out.DH
 		res.OutputGrad = core.SparseGrad{Indices: out.Candidates, Rows: out.DEmb}
 	} else {
-		lossSum, count, dh, dEmb := FullSoftmaxLoss(pStacked, m.OutEmb, flatTargets, true)
+		lossSum, count, dh, dEmb := FullSoftmaxLoss(m.be, pStacked, m.OutEmb, flatTargets, true)
 		res.LossSum, res.Count = lossSum, count
 		dp = dh
 		allIdx := make([]int, m.Cfg.Vocab)
@@ -278,7 +300,7 @@ func (m *LM) EvalLoss(stream []int, seqLen int) (lossSum float64, count int) {
 			flatTargets[step] = targets[step][0]
 		}
 		p := m.proj.Forward(hStacked)
-		l, c, _, _ := FullSoftmaxLoss(p, m.OutEmb, flatTargets, false)
+		l, c, _, _ := FullSoftmaxLoss(m.be, p, m.OutEmb, flatTargets, false)
 		// Clear the projection's forward cache (no backward follows).
 		m.proj.x = nil
 		lossSum += l

@@ -24,6 +24,8 @@ type LSTM struct {
 	gwx, gwh *tensor.Matrix
 	gb       []float32
 
+	be tensor.Backend
+
 	// forward caches, one entry per timestep
 	xs, hs, cs      []*tensor.Matrix // inputs, hidden states, cell states
 	gi, gf, gg, go_ []*tensor.Matrix // post-activation gates
@@ -44,6 +46,7 @@ func NewLSTM(in, hidden int, r *rng.RNG) *LSTM {
 		gwx: tensor.NewMatrix(4*hidden, in),
 		gwh: tensor.NewMatrix(4*hidden, hidden),
 		gb:  make([]float32, 4*hidden),
+		be:  tensor.Serial{},
 	}
 	l.Wx.RandomizeUniform(r, math.Sqrt(6/float64(in+4*hidden)))
 	l.Wh.RandomizeUniform(r, math.Sqrt(6/float64(hidden+4*hidden)))
@@ -52,6 +55,8 @@ func NewLSTM(in, hidden int, r *rng.RNG) *LSTM {
 	}
 	return l
 }
+
+func (l *LSTM) setBackend(be tensor.Backend) { l.be = be }
 
 // Forward runs the layer over xs (T matrices of B×In), starting from zero
 // initial state, and returns the T hidden states (B×H each).
@@ -77,8 +82,8 @@ func (l *LSTM) Forward(xs []*tensor.Matrix) []*tensor.Matrix {
 	zh := tensor.NewMatrix(batch, 4*h)
 	for step := 0; step < t; step++ {
 		// z = x Wxᵀ + h_prev Whᵀ + b
-		tensor.MatMulABT(zx, xs[step], l.Wx)
-		tensor.MatMulABT(zh, hPrev, l.Wh)
+		l.be.MatMulABT(zx, xs[step], l.Wx)
+		l.be.MatMulABT(zh, hPrev, l.Wh)
 		gi := tensor.NewMatrix(batch, h)
 		gf := tensor.NewMatrix(batch, h)
 		gg := tensor.NewMatrix(batch, h)
@@ -176,17 +181,17 @@ func (l *LSTM) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 
 		// Parameter gradients: gWx += dzᵀ x_t ; gWh += dzᵀ h_{t-1} ;
 		// gb += colsum dz.
-		addOuter(l.gwx, dz, l.xs[step])
-		addOuter(l.gwh, dz, hPrev)
+		l.be.MatMulATBAcc(l.gwx, dz, l.xs[step])
+		l.be.MatMulATBAcc(l.gwh, dz, hPrev)
 		for b := 0; b < batch; b++ {
 			tensor.AddInPlace(l.gb, dz.Row(b))
 		}
 
 		// Input and recurrent gradients.
 		dx := tensor.NewMatrix(batch, l.In)
-		tensor.MatMul(dx, dz, l.Wx)
+		l.be.MatMul(dx, dz, l.Wx)
 		dxs[step] = dx
-		tensor.MatMul(dhNext, dz, l.Wh)
+		l.be.MatMul(dhNext, dz, l.Wh)
 	}
 	return dxs
 }
@@ -202,8 +207,8 @@ func (l *LSTM) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 func (l *LSTM) stepInfer(x, h, c, zx, zh *tensor.Matrix) {
 	batch := x.Rows
 	hd := l.Hidden
-	tensor.MatMulABTStream(zx, x, l.Wx)
-	tensor.MatMulABTStream(zh, h, l.Wh)
+	l.be.MatMulABTStream(zx, x, l.Wx)
+	l.be.MatMulABTStream(zh, h, l.Wh)
 	for b := 0; b < batch; b++ {
 		zxr, zhr := zx.Row(b), zh.Row(b)
 		hr, cr := h.Row(b), c.Row(b)

@@ -98,7 +98,7 @@ func lmMeanLoss(m *LM, inputs, targets [][]int) float64 {
 	}
 	p := m.proj.Forward(hStacked)
 	m.proj.x = nil
-	lossSum, count, _, _ := FullSoftmaxLoss(p, m.OutEmb, flat, false)
+	lossSum, count, _, _ := FullSoftmaxLoss(nil, p, m.OutEmb, flat, false)
 	return lossSum / float64(count)
 }
 
@@ -198,11 +198,11 @@ func TestSampledSoftmaxGradient(t *testing.T) {
 	// sampler is re-seeded per evaluation.
 	loss := func() float64 {
 		s := sampling.NewSampler(V, 77)
-		res := SampledSoftmaxLoss(h, emb, targets, s, S)
+		res := SampledSoftmaxLoss(nil, h, emb, targets, s, S)
 		return res.LossSum / float64(res.Count)
 	}
 	s := sampling.NewSampler(V, 77)
-	res := SampledSoftmaxLoss(h, emb, targets, s, S)
+	res := SampledSoftmaxLoss(nil, h, emb, targets, s, S)
 
 	const eps = 1e-3
 	// dH check.
@@ -246,7 +246,7 @@ func TestSampledLossApproximatesFullLoss(t *testing.T) {
 	for i := range targets {
 		targets[i] = r.Intn(V)
 	}
-	fullSum, fullCount, _, _ := FullSoftmaxLoss(h, emb, targets, false)
+	fullSum, fullCount, _, _ := FullSoftmaxLoss(nil, h, emb, targets, false)
 	full := fullSum / float64(fullCount)
 
 	// The sampled loss is a Jensen-biased *under*-estimate of the full
@@ -257,7 +257,7 @@ func TestSampledLossApproximatesFullLoss(t *testing.T) {
 		const trials = 40
 		for i := 0; i < trials; i++ {
 			s := sampling.NewSampler(V, uint64(1000+i))
-			res := SampledSoftmaxLoss(h, emb, targets, s, nSamples)
+			res := SampledSoftmaxLoss(nil, h, emb, targets, s, nSamples)
 			acc += res.LossSum / float64(res.Count)
 		}
 		return acc / trials
@@ -281,7 +281,7 @@ func TestFullSoftmaxGradSumsToZeroPerRow(t *testing.T) {
 	h.RandomizeNormal(r, 1)
 	emb := tensor.NewMatrix(10, 4)
 	emb.RandomizeNormal(r, 1)
-	_, _, _, dEmb := FullSoftmaxLoss(h, emb, []int{1, 5, 9}, true)
+	_, _, _, dEmb := FullSoftmaxLoss(nil, h, emb, []int{1, 5, 9}, true)
 	// Column sums of dEmb equal sum_b (p_b - onehot_b) ᵀ h_b summed; each
 	// softmax row's probability sums to 1, so Σ_w dlogits[b][w] = 0 and
 	// the total embedding gradient projected on any h direction vanishes.
@@ -420,11 +420,11 @@ func TestPanicsOnBadInput(t *testing.T) {
 		func() { m.EvalLoss([]int{1, 2}, 0) },
 		func() {
 			h := tensor.NewMatrix(2, 4)
-			FullSoftmaxLoss(h, m.OutEmb, []int{1}, false)
+			FullSoftmaxLoss(nil, h, m.OutEmb, []int{1}, false)
 		},
 		func() {
 			h := tensor.NewMatrix(1, 4)
-			FullSoftmaxLoss(h, m.OutEmb, []int{99}, false)
+			FullSoftmaxLoss(nil, h, m.OutEmb, []int{99}, false)
 		},
 	} {
 		func() {

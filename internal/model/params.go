@@ -10,8 +10,6 @@
 // model replica.
 package model
 
-import "zipflm/internal/tensor"
-
 // Param is one named dense parameter tensor with its gradient accumulator.
 // Value and Grad always have equal length; optimizers walk these pairs.
 type Param struct {
@@ -48,10 +46,4 @@ func NumParams(layers ...Layer) int {
 		}
 	}
 	return n
-}
-
-// addOuter accumulates dst += aᵀ @ b through the fused kernel — no scratch
-// matrix, one pass over dst.
-func addOuter(dst, a, b *tensor.Matrix) {
-	tensor.MatMulATBAcc(dst, a, b)
 }

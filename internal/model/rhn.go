@@ -36,6 +36,8 @@ type RHN struct {
 	grh, grt []*tensor.Matrix
 	gbh, gbt [][]float32
 
+	be tensor.Backend
+
 	// forward caches
 	xs []*tensor.Matrix
 	// sStates[t][l] is s_l at step t, l in [0, Depth]; sStates[t][0] is
@@ -61,6 +63,7 @@ func NewRHN(in, hidden, depth int, r *rng.RNG) *RHN {
 		Wt:  tensor.NewMatrix(hidden, in),
 		gwh: tensor.NewMatrix(hidden, in),
 		gwt: tensor.NewMatrix(hidden, in),
+		be:  tensor.Serial{},
 	}
 	bound := math.Sqrt(6 / float64(in+hidden))
 	l.Wh.RandomizeUniform(r, bound)
@@ -88,6 +91,8 @@ func NewRHN(in, hidden, depth int, r *rng.RNG) *RHN {
 	return l
 }
 
+func (l *RHN) setBackend(be tensor.Backend) { l.be = be }
+
 // Forward runs the layer over xs (T matrices of B×In) from a zero initial
 // state, returning the T output states (B×H each).
 func (l *RHN) Forward(xs []*tensor.Matrix) []*tensor.Matrix {
@@ -111,16 +116,16 @@ func (l *RHN) Forward(xs []*tensor.Matrix) []*tensor.Matrix {
 	zrh := tensor.NewMatrix(batch, h)
 	zrt := tensor.NewMatrix(batch, h)
 	for step := 0; step < t; step++ {
-		tensor.MatMulABT(zxh, xs[step], l.Wh)
-		tensor.MatMulABT(zxt, xs[step], l.Wt)
+		l.be.MatMulABT(zxh, xs[step], l.Wh)
+		l.be.MatMulABT(zxt, xs[step], l.Wt)
 		states := make([]*tensor.Matrix, l.Depth+1)
 		hs := make([]*tensor.Matrix, l.Depth)
 		ts := make([]*tensor.Matrix, l.Depth)
 		states[0] = sPrev
 		s := sPrev
 		for d := 0; d < l.Depth; d++ {
-			tensor.MatMulABT(zrh, s, l.Rh[d])
-			tensor.MatMulABT(zrt, s, l.Rt[d])
+			l.be.MatMulABT(zrh, s, l.Rh[d])
+			l.be.MatMulABT(zrt, s, l.Rt[d])
 			hg := tensor.NewMatrix(batch, h)
 			tg := tensor.NewMatrix(batch, h)
 			sNext := tensor.NewMatrix(batch, h)
@@ -206,25 +211,25 @@ func (l *RHN) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 			}
 
 			// Recurrent weight gradients and state gradient.
-			addOuter(l.grh[d], dzh, sIn)
-			addOuter(l.grt[d], dzt, sIn)
+			l.be.MatMulATBAcc(l.grh[d], dzh, sIn)
+			l.be.MatMulATBAcc(l.grt[d], dzt, sIn)
 			for b := 0; b < batch; b++ {
 				tensor.AddInPlace(l.gbh[d], dzh.Row(b))
 				tensor.AddInPlace(l.gbt[d], dzt.Row(b))
 			}
-			tensor.MatMul(tmp, dzh, l.Rh[d])
+			l.be.MatMul(tmp, dzh, l.Rh[d])
 			tensor.AddInPlace(dsIn.Data, tmp.Data)
-			tensor.MatMul(tmp, dzt, l.Rt[d])
+			l.be.MatMul(tmp, dzt, l.Rt[d])
 			tensor.AddInPlace(dsIn.Data, tmp.Data)
 
 			// Input projection contributes at micro-layer 0 only.
 			if d == 0 {
-				addOuter(l.gwh, dzh, l.xs[step])
-				addOuter(l.gwt, dzt, l.xs[step])
+				l.be.MatMulATBAcc(l.gwh, dzh, l.xs[step])
+				l.be.MatMulATBAcc(l.gwt, dzt, l.xs[step])
 				dxTmp := tensor.NewMatrix(batch, l.In)
-				tensor.MatMul(dxTmp, dzh, l.Wh)
+				l.be.MatMul(dxTmp, dzh, l.Wh)
 				tensor.AddInPlace(dx.Data, dxTmp.Data)
-				tensor.MatMul(dxTmp, dzt, l.Wt)
+				l.be.MatMul(dxTmp, dzt, l.Wt)
 				tensor.AddInPlace(dx.Data, dxTmp.Data)
 			}
 			ds = dsIn
@@ -244,11 +249,11 @@ func (l *RHN) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 func (l *RHN) stepInfer(x, s, zxh, zxt, zrh, zrt *tensor.Matrix) {
 	batch := x.Rows
 	h := l.Hidden
-	tensor.MatMulABTStream(zxh, x, l.Wh)
-	tensor.MatMulABTStream(zxt, x, l.Wt)
+	l.be.MatMulABTStream(zxh, x, l.Wh)
+	l.be.MatMulABTStream(zxt, x, l.Wt)
 	for d := 0; d < l.Depth; d++ {
-		tensor.MatMulABTStream(zrh, s, l.Rh[d])
-		tensor.MatMulABTStream(zrt, s, l.Rt[d])
+		l.be.MatMulABTStream(zrh, s, l.Rh[d])
+		l.be.MatMulABTStream(zrt, s, l.Rt[d])
 		for b := 0; b < batch; b++ {
 			var xh, xt []float32
 			if d == 0 {

@@ -17,13 +17,19 @@ import (
 // Returns the summed cross-entropy (nats), token count, dLoss/dh (nil when
 // computeGrad is false) and the dense dLoss/dE (nil likewise). Gradients
 // are for the *mean* loss over the batch.
-func FullSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, computeGrad bool) (lossSum float64, count int, dh, dEmb *tensor.Matrix) {
+//
+// be selects the compute backend for the logits and gradient products — the
+// largest matmuls of a training step; nil means the serial reference.
+func FullSoftmaxLoss(be tensor.Backend, h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, computeGrad bool) (lossSum float64, count int, dh, dEmb *tensor.Matrix) {
+	if be == nil {
+		be = tensor.Serial{}
+	}
 	if h.Rows != len(targets) {
 		panic(fmt.Sprintf("model: %d hidden rows, %d targets", h.Rows, len(targets)))
 	}
 	v := outEmb.Rows
 	logits := tensor.NewMatrix(h.Rows, v)
-	tensor.MatMulABT(logits, h, outEmb)
+	be.MatMulABT(logits, h, outEmb)
 
 	count = len(targets)
 	var dlogits *tensor.Matrix
@@ -54,9 +60,9 @@ func FullSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, com
 		return lossSum, count, nil, nil
 	}
 	dh = tensor.NewMatrix(h.Rows, h.Cols)
-	tensor.MatMul(dh, dlogits, outEmb)
+	be.MatMul(dh, dlogits, outEmb)
 	dEmb = tensor.NewMatrix(v, h.Cols)
-	tensor.MatMulATB(dEmb, dlogits, h)
+	be.MatMulATB(dEmb, dlogits, h)
 	return lossSum, count, dh, dEmb
 }
 
@@ -78,8 +84,12 @@ type SampledSoftmaxResult struct {
 // SampledSoftmaxLoss scores only the candidate set drawn by the rank's
 // sampler (§II-A): S negatives from the log-uniform distribution plus the
 // batch's target words, with the standard log-expected-count logit
-// correction so the sampled loss estimates the full loss.
-func SampledSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, s sampling.CandidateSampler, nSamples int) SampledSoftmaxResult {
+// correction so the sampled loss estimates the full loss. be selects the
+// compute backend (nil: the serial reference).
+func SampledSoftmaxLoss(be tensor.Backend, h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, s sampling.CandidateSampler, nSamples int) SampledSoftmaxResult {
+	if be == nil {
+		be = tensor.Serial{}
+	}
 	if h.Rows != len(targets) {
 		panic(fmt.Sprintf("model: %d hidden rows, %d targets", h.Rows, len(targets)))
 	}
@@ -94,7 +104,7 @@ func SampledSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, 
 	candEmb := tensor.NewMatrix(nc, outEmb.Cols)
 	tensor.GatherRows(candEmb, outEmb, candidates)
 	logits := tensor.NewMatrix(h.Rows, nc)
-	tensor.MatMulABT(logits, h, candEmb)
+	be.MatMulABT(logits, h, candEmb)
 
 	// Subtract log(S·Q(c)) per candidate column.
 	corr := make([]float32, nc)
@@ -128,9 +138,9 @@ func SampledSoftmaxLoss(h *tensor.Matrix, outEmb *tensor.Matrix, targets []int, 
 	}
 
 	res.DH = tensor.NewMatrix(h.Rows, h.Cols)
-	tensor.MatMul(res.DH, dlogits, candEmb)
+	be.MatMul(res.DH, dlogits, candEmb)
 	res.DEmb = tensor.NewMatrix(nc, outEmb.Cols)
-	tensor.MatMulATB(res.DEmb, dlogits, h)
+	be.MatMulATB(res.DEmb, dlogits, h)
 	return res
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"testing"
 
 	"zipflm/internal/model"
@@ -18,8 +19,17 @@ func benchModel() *model.LM {
 }
 
 func runServeBench(b *testing.B, maxBatch, clients int) {
+	runServeBenchCompute(b, maxBatch, clients, 0)
+}
+
+// runServeBenchCompute additionally tiles each forward step's matmuls
+// across computeWorkers goroutines (0: serial). Responses are bit-identical
+// either way — the variants differ only in wall-clock, and on a
+// single-core runner (GOMAXPROCS=1, the -N suffix in the benchmark name)
+// they measure dispatch overhead rather than speedup.
+func runServeBenchCompute(b *testing.B, maxBatch, clients, computeWorkers int) {
 	m := benchModel()
-	s := New(m, Config{MaxBatch: maxBatch, QueueDepth: 2 * clients})
+	s := New(m, Config{MaxBatch: maxBatch, ComputeWorkers: computeWorkers, QueueDepth: 2 * clients})
 	defer s.Close()
 	b.ResetTimer()
 	rep := RunLoad(s, LoadConfig{
@@ -49,3 +59,15 @@ func BenchmarkServeBatched8(b *testing.B) { runServeBench(b, 8, 8) }
 
 // BenchmarkServeBatched16 doubles the pressure.
 func BenchmarkServeBatched16(b *testing.B) { runServeBench(b, 16, 16) }
+
+// BenchmarkServeBatched8Compute2 runs the batch-8 workload with each step's
+// matmuls tiled across 2 goroutines.
+func BenchmarkServeBatched8Compute2(b *testing.B) { runServeBenchCompute(b, 8, 8, 2) }
+
+// BenchmarkServeBatched8Compute4 tiles across 4.
+func BenchmarkServeBatched8Compute4(b *testing.B) { runServeBenchCompute(b, 8, 8, 4) }
+
+// BenchmarkServeBatched8ComputeMax tiles across GOMAXPROCS.
+func BenchmarkServeBatched8ComputeMax(b *testing.B) {
+	runServeBenchCompute(b, 8, 8, runtime.GOMAXPROCS(0))
+}

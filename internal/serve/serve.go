@@ -36,6 +36,7 @@ import (
 
 	"zipflm/internal/model"
 	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
 )
 
 var (
@@ -88,6 +89,13 @@ type Config struct {
 	// Workers is the number of model replicas, each with its own batcher
 	// goroutine (default 1).
 	Workers int
+	// ComputeWorkers selects the tensor backend each replica computes with:
+	// > 1 tiles every forward-step matmul across that many goroutines (one
+	// shared tensor.Parallel for the whole server). 0 keeps the process
+	// default (tensor.Default, which honors ZIPFLM_WORKERS); 1 forces the
+	// serial reference. Responses are bit-identical at every setting — the
+	// backend contract — so this is purely a latency/throughput knob.
+	ComputeWorkers int
 	// MaxBatch is the per-worker concurrent-sequence bound (default 8).
 	MaxBatch int
 	// QueueDepth bounds the admission queue; a full queue sheds
@@ -156,6 +164,10 @@ type Server struct {
 	results *lruCache
 	prefix  *lruCache
 	workers []*worker
+	// backend is the shared tensor backend every replica computes with
+	// (nil: leave replicas on their NewLM default). Reload replicas get it
+	// too, so a reload never silently changes the compute path.
+	backend tensor.Backend
 	// version is the current weights generation; reloadMu serializes
 	// Reload calls so versions hand out monotonically with their replicas.
 	version  atomic.Uint64
@@ -179,8 +191,14 @@ func New(m *model.LM, cfg Config) *Server {
 		prefix:  newLRUCache(cfg.PrefixEntries),
 	}
 	s.version.Store(1)
+	if cfg.ComputeWorkers > 0 {
+		s.backend = tensor.New(cfg.ComputeWorkers)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		replica := model.NewLM(m.Cfg)
+		if s.backend != nil {
+			replica.SetBackend(s.backend)
+		}
 		replica.CopyWeightsFrom(m)
 		w := newWorker(s, replica)
 		s.workers = append(s.workers, w)
@@ -217,6 +235,9 @@ func (s *Server) Reload(m *model.LM) (uint64, error) {
 	v := s.version.Add(1)
 	for _, w := range s.workers {
 		replica := model.NewLM(m.Cfg)
+		if s.backend != nil {
+			replica.SetBackend(s.backend)
+		}
 		replica.CopyWeightsFrom(m)
 		w.pending.Store(&pendingModel{m: replica, version: v})
 	}

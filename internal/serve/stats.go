@@ -18,14 +18,19 @@ type statsCollector struct {
 	accepted  uint64
 	completed uint64
 	shed      uint64 // admission-queue overflow
-	expired   uint64 // deadline passed before service
-	tokens    uint64
-	batches   []uint64 // batches[b] = steps executed at batch size b
-	batchSum  uint64   // Σ b·batches[b] (sequence-steps)
-	stepCount uint64
-	lat       [latRingSize]time.Duration
-	latCount  uint64 // total recorded (ring wraps)
-	latSum    time.Duration
+	expired   uint64 // deadline expiries, before or during service
+	// expiredInFlight counts the subset of expired that had already started
+	// generating when the deadline passed; discardedTokens is the partial
+	// output those sequences threw away — wasted compute made visible.
+	expiredInFlight uint64
+	discardedTokens uint64
+	tokens          uint64
+	batches         []uint64 // batches[b] = steps executed at batch size b
+	batchSum        uint64   // Σ b·batches[b] (sequence-steps)
+	stepCount       uint64
+	lat             [latRingSize]time.Duration
+	latCount        uint64 // total recorded (ring wraps)
+	latSum          time.Duration
 }
 
 func newStatsCollector(maxBatch int) *statsCollector {
@@ -45,6 +50,18 @@ func (s *statsCollector) onShed(deadline bool) {
 	} else {
 		s.shed++
 	}
+	s.mu.Unlock()
+}
+
+// onExpire records an in-flight deadline expiry: a sequence that was
+// already generating when its deadline passed, discarding the tokens it
+// had produced. (Pre-service expiries go through onShed(true) — they
+// never cost a forward pass.)
+func (s *statsCollector) onExpire(discarded int) {
+	s.mu.Lock()
+	s.expired++
+	s.expiredInFlight++
+	s.discardedTokens += uint64(discarded)
 	s.mu.Unlock()
 }
 
@@ -77,6 +94,11 @@ type Snapshot struct {
 	// hits); Shed were refused at admission (queue full), Expired had
 	// their deadline pass before or during service.
 	Completed, Shed, Expired uint64
+	// ExpiredInFlight is the subset of Expired that had already started
+	// generating (abandoned at a step boundary or mid-linger);
+	// DiscardedTokens is the partial output those sequences discarded —
+	// the compute wasted on callers that stopped waiting.
+	ExpiredInFlight, DiscardedTokens uint64
 	// Tokens is the total tokens delivered (cache hits count: they
 	// displaced generation work).
 	Tokens uint64
@@ -114,13 +136,15 @@ func (s *statsCollector) snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Snapshot{
-		Uptime:    time.Since(s.start),
-		Accepted:  s.accepted,
-		Completed: s.completed,
-		Shed:      s.shed,
-		Expired:   s.expired,
-		Tokens:    s.tokens,
-		BatchDist: append([]uint64(nil), s.batches...),
+		Uptime:          time.Since(s.start),
+		Accepted:        s.accepted,
+		Completed:       s.completed,
+		Shed:            s.shed,
+		Expired:         s.expired,
+		ExpiredInFlight: s.expiredInFlight,
+		DiscardedTokens: s.discardedTokens,
+		Tokens:          s.tokens,
+		BatchDist:       append([]uint64(nil), s.batches...),
 	}
 	if s.stepCount > 0 {
 		out.MeanBatch = float64(s.batchSum) / float64(s.stepCount)

@@ -1,0 +1,345 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is the pluggable compute engine behind the matmul kernels: the
+// model layers call these methods instead of the package functions, so one
+// knob swaps the whole forward/backward/serving compute path. Every
+// implementation is bit-identical to the serial reference — the repository's
+// correctness contracts (resume, overlap, serving-vs-sequential) are all
+// stated in exact bits, so a backend that "only" changes low-order float
+// bits would break them.
+type Backend interface {
+	// MatMul computes dst = a @ b (see the package function).
+	MatMul(dst, a, b *Matrix)
+	// MatMulATB computes dst = aᵀ @ b.
+	MatMulATB(dst, a, b *Matrix)
+	// MatMulATBAcc computes dst += aᵀ @ b (fused gradient accumulation).
+	MatMulATBAcc(dst, a, b *Matrix)
+	// MatMulABT computes dst = a @ bᵀ.
+	MatMulABT(dst, a, b *Matrix)
+	// MatMulABTStream computes dst = a @ bᵀ with two-row blocking.
+	MatMulABTStream(dst, a, b *Matrix)
+	// Workers reports the tiling width (1 for the serial reference).
+	Workers() int
+}
+
+// Serial is the reference backend: the package-level kernels, one
+// goroutine. Its zero value is ready to use.
+type Serial struct{}
+
+// MatMul implements Backend.
+func (Serial) MatMul(dst, a, b *Matrix) { MatMul(dst, a, b) }
+
+// MatMulATB implements Backend.
+func (Serial) MatMulATB(dst, a, b *Matrix) { MatMulATB(dst, a, b) }
+
+// MatMulATBAcc implements Backend.
+func (Serial) MatMulATBAcc(dst, a, b *Matrix) { MatMulATBAcc(dst, a, b) }
+
+// MatMulABT implements Backend.
+func (Serial) MatMulABT(dst, a, b *Matrix) { MatMulABT(dst, a, b) }
+
+// MatMulABTStream implements Backend.
+func (Serial) MatMulABTStream(dst, a, b *Matrix) { MatMulABTStream(dst, a, b) }
+
+// Workers implements Backend.
+func (Serial) Workers() int { return 1 }
+
+// New returns a backend tiling across n workers: Serial for n ≤ 1, a
+// *Parallel otherwise.
+func New(n int) Backend {
+	if n <= 1 {
+		return Serial{}
+	}
+	return NewParallel(n)
+}
+
+var defaultBackend struct {
+	mu sync.Mutex
+	be Backend
+}
+
+// Default returns the process-wide default backend, which model.NewLM picks
+// up: Serial unless the ZIPFLM_WORKERS environment variable or
+// SetDefaultWorkers selected a parallel one. The environment hook is what
+// lets the whole test suite — every bit-identity contract in the repository
+// — run through the parallel backend with `ZIPFLM_WORKERS=4 go test ./...`,
+// which is exactly what the CI workers matrix does.
+func Default() Backend {
+	defaultBackend.mu.Lock()
+	defer defaultBackend.mu.Unlock()
+	if defaultBackend.be == nil {
+		n, _ := strconv.Atoi(os.Getenv("ZIPFLM_WORKERS"))
+		defaultBackend.be = New(n)
+	}
+	return defaultBackend.be
+}
+
+// SetDefaultWorkers replaces the default backend with one tiling across n
+// workers (n ≤ 1 restores Serial). It affects models built afterwards, so
+// call it before constructing them — zipflm-bench does this to thread its
+// -workers flag through experiments that build their own trainers.
+func SetDefaultWorkers(n int) {
+	defaultBackend.mu.Lock()
+	defaultBackend.be = New(n)
+	defaultBackend.mu.Unlock()
+}
+
+// parallelMinWork is the fused-multiply-add count below which dispatching
+// tiles costs more than it saves; smaller calls run serially on the caller.
+// The cut keeps the per-token serving path (tiny batches against small
+// weights) on the zero-overhead kernel while training-sized products tile.
+const parallelMinWork = 1 << 15
+
+// Parallel is a goroutine-tiled backend. Each kernel call partitions its
+// output — rows when there are enough of them, columns otherwise (a batch-1
+// activation against a V×D embedding tiles the vocabulary axis) — into one
+// contiguous tile per worker with boundaries that are a pure function of the
+// shape and worker count. Every tile writes a disjoint output range and
+// computes each element with exactly the serial kernel's operation order,
+// so results are bit-identical to Serial at every worker count: no atomic
+// adds, no reduction trees, no scheduling dependence.
+//
+// The workers−1 helper goroutines are persistent (spawned once in
+// NewParallel, parked on a channel between calls) and the dispatch path
+// performs no allocation, preserving the zero-alloc guarantees of the
+// serving hot loop. A Parallel may be shared — concurrent kernel calls
+// serialize on an internal mutex, each call then using every worker — which
+// is how the trainer gives all simulated ranks one compute device.
+type Parallel struct {
+	mu      sync.Mutex
+	workers int
+	job     *parallelJob
+}
+
+type kernelKind uint8
+
+const (
+	kkMatMul kernelKind = iota
+	kkATBAcc
+	kkABT
+	kkABTStream
+)
+
+// parallelJob is the state shared with the helper goroutines. The helpers
+// hold only this struct (not the Parallel), so an unreachable backend can be
+// collected and its cleanup can retire the helpers.
+//
+// Lifecycle discipline: helpers touch the job fields only between receiving
+// a wake token and sending the matching ack, and the dispatching caller
+// waits for every ack before returning. Helpers are therefore quiescent
+// whenever a new dispatch writes the fields — no generation counters or
+// atomic field publication needed, and the race detector agrees.
+type parallelJob struct {
+	wake chan struct{} // capacity workers-1; one token per helper per call
+	ack  chan struct{} // capacity workers-1; one ack per token
+	quit chan struct{}
+	once sync.Once // guards close(quit): Close and the GC cleanup may both run
+
+	kind      kernelKind
+	dst, a, b *Matrix
+	byCols    bool
+	units     int // rows or columns being tiled
+	tiles     int
+	next      atomic.Int64 // tile claim counter
+}
+
+// NewParallel returns a backend tiling across n workers (helper goroutines
+// plus the calling goroutine). n is clamped to at least 1; more workers than
+// GOMAXPROCS is allowed — results do not depend on n, only speed does.
+// Helpers persist until Close or until the backend is garbage collected.
+func NewParallel(n int) *Parallel {
+	if n < 1 {
+		n = 1
+	}
+	p := &Parallel{
+		workers: n,
+		job: &parallelJob{
+			wake: make(chan struct{}, n-1),
+			ack:  make(chan struct{}, n-1),
+			quit: make(chan struct{}),
+		},
+	}
+	for i := 0; i < n-1; i++ {
+		go p.job.run()
+	}
+	if n > 1 {
+		// Helpers reference the job, not the Parallel, so an abandoned
+		// backend becomes unreachable and the finalizer retires them.
+		runtime.SetFinalizer(p, func(p *Parallel) { p.job.close() })
+	}
+	return p
+}
+
+// Workers implements Backend.
+func (p *Parallel) Workers() int { return p.workers }
+
+// Close retires the helper goroutines. The backend must be idle; it is not
+// usable afterwards. Close is optional — an unreachable Parallel releases
+// its helpers via a GC cleanup — and idempotent.
+func (p *Parallel) Close() { p.job.close() }
+
+func (j *parallelJob) close() { j.once.Do(func() { close(j.quit) }) }
+
+// run is the helper loop: wait for a token, claim and execute tiles until
+// none remain, ack.
+func (j *parallelJob) run() {
+	for {
+		select {
+		case <-j.wake:
+			j.claim()
+			j.ack <- struct{}{}
+		case <-j.quit:
+			return
+		}
+	}
+}
+
+// claim executes tiles until the counter exhausts. The caller participates
+// too, so a late-scheduled helper costs nothing but its own idle time.
+func (j *parallelJob) claim() {
+	for {
+		t := int(j.next.Add(1)) - 1
+		if t >= j.tiles {
+			return
+		}
+		j.runTile(t)
+	}
+}
+
+// bound returns tile boundary t. Boundaries depend only on (units, tiles),
+// never on scheduling — the determinism the bit-identity contract needs.
+// Stream row tiles align to even starts so dot2's two-row blocking keeps its
+// pairing (values would be identical anyway; see matMulABTStreamRows).
+func (j *parallelJob) bound(t int) int {
+	v := t * j.units / j.tiles
+	if j.kind == kkABTStream && !j.byCols && t > 0 && t < j.tiles {
+		v &^= 1
+	}
+	return v
+}
+
+func (j *parallelJob) runTile(t int) {
+	lo, hi := j.bound(t), j.bound(t+1)
+	if lo >= hi {
+		return
+	}
+	switch j.kind {
+	case kkMatMul:
+		if j.byCols {
+			matMulCols(j.dst, j.a, j.b, lo, hi)
+		} else {
+			matMulRows(j.dst, j.a, j.b, lo, hi)
+		}
+	case kkATBAcc:
+		if j.byCols {
+			matMulATBAccCols(j.dst, j.a, j.b, lo, hi)
+		} else {
+			matMulATBAccRows(j.dst, j.a, j.b, lo, hi)
+		}
+	case kkABT:
+		if j.byCols {
+			matMulABTCols(j.dst, j.a, j.b, lo, hi)
+		} else {
+			matMulABTRows(j.dst, j.a, j.b, lo, hi)
+		}
+	case kkABTStream:
+		if j.byCols {
+			matMulABTStreamCols(j.dst, j.a, j.b, lo, hi)
+		} else {
+			matMulABTStreamRows(j.dst, j.a, j.b, lo, hi)
+		}
+	}
+}
+
+// dispatch fans one kernel call across the workers and returns when every
+// tile has finished. Zero allocations: the job struct is reused, tokens ride
+// preallocated buffered channels.
+func (p *Parallel) dispatch(kind kernelKind, dst, a, b *Matrix, rows, cols int) {
+	j := p.job
+	p.mu.Lock()
+	j.kind, j.dst, j.a, j.b = kind, dst, a, b
+	// Tile the larger output axis, so batch-1 shapes still spread.
+	j.byCols, j.units = false, rows
+	if cols > rows {
+		j.byCols, j.units = true, cols
+	}
+	j.tiles = p.workers
+	if j.tiles > j.units {
+		j.tiles = j.units
+	}
+	j.next.Store(0)
+	for i := 0; i < p.workers-1; i++ {
+		j.wake <- struct{}{}
+	}
+	j.claim()
+	for i := 0; i < p.workers-1; i++ {
+		<-j.ack
+	}
+	// Helpers are parked again; drop matrix references so a long-lived
+	// backend does not pin its last operands.
+	j.dst, j.a, j.b = nil, nil, nil
+	p.mu.Unlock()
+}
+
+// serialCutoff reports whether the call is too small to tile: below the
+// work threshold, or degenerate. The decision is a pure function of shape,
+// so it cannot perturb determinism (and even when it differs across worker
+// counts, both paths compute identical bits).
+func (p *Parallel) serialCutoff(m, k, n int) bool {
+	return p.workers == 1 || m*k*n < parallelMinWork || m == 0 || n == 0
+}
+
+// MatMul implements Backend.
+func (p *Parallel) MatMul(dst, a, b *Matrix) {
+	checkMatMul(dst, a, b)
+	if p.serialCutoff(a.Rows, a.Cols, b.Cols) {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	p.dispatch(kkMatMul, dst, a, b, a.Rows, b.Cols)
+}
+
+// MatMulATB implements Backend.
+func (p *Parallel) MatMulATB(dst, a, b *Matrix) {
+	checkMatMulATB(dst, a, b)
+	dst.Zero()
+	p.MatMulATBAcc(dst, a, b)
+}
+
+// MatMulATBAcc implements Backend.
+func (p *Parallel) MatMulATBAcc(dst, a, b *Matrix) {
+	checkMatMulATB(dst, a, b)
+	if p.serialCutoff(a.Cols, a.Rows, b.Cols) {
+		matMulATBAccRows(dst, a, b, 0, a.Cols)
+		return
+	}
+	p.dispatch(kkATBAcc, dst, a, b, a.Cols, b.Cols)
+}
+
+// MatMulABT implements Backend.
+func (p *Parallel) MatMulABT(dst, a, b *Matrix) {
+	checkMatMulABT(dst, a, b)
+	if p.serialCutoff(a.Rows, a.Cols, b.Rows) {
+		matMulABTRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	p.dispatch(kkABT, dst, a, b, a.Rows, b.Rows)
+}
+
+// MatMulABTStream implements Backend.
+func (p *Parallel) MatMulABTStream(dst, a, b *Matrix) {
+	checkMatMulABT(dst, a, b)
+	if p.serialCutoff(a.Rows, a.Cols, b.Rows) {
+		matMulABTStreamRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	p.dispatch(kkABTStream, dst, a, b, a.Rows, b.Rows)
+}

@@ -1,0 +1,269 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"zipflm/internal/rng"
+)
+
+// backendShapes are the (m, k, n) problem sizes the bit-identity property
+// test sweeps: empty, zero-row, zero-inner, single-row (the serving batch-1
+// shape, which tiles columns), odd extents, widths not divisible by the
+// kernels' 4-wide unrolling, and sizes above parallelMinWork so the tiled
+// dispatch path actually runs.
+var backendShapes = [][3]int{
+	{0, 0, 0},
+	{0, 5, 3},
+	{3, 0, 4},
+	{1, 7, 5},
+	{7, 9, 5},
+	{5, 6, 3},
+	{1, 64, 512},
+	{33, 65, 29},
+	{48, 33, 47},
+}
+
+// backendWorkerCounts includes 1 (Serial), even and odd splits, and more
+// workers than this container has cores.
+var backendWorkerCounts = []int{1, 2, 3, 4, 7}
+
+// bitsEqual compares two matrices for exact bit equality (NaNs included —
+// tolerance-based comparison would hide both low-order drift and poison
+// values, the two things the backend contract forbids).
+func bitsEqual(t *testing.T, ctx string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: got %dx%d, want %dx%d", ctx, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %v (bits %08x), serial %v (bits %08x)",
+				ctx, i, got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestBackendBitIdentity is the backend contract: every kernel, at every
+// worker count, over every shape — including degenerate and unaligned ones —
+// produces exactly the bits the serial reference produces.
+func TestBackendBitIdentity(t *testing.T) {
+	r := rng.New(99)
+	for _, shape := range backendShapes {
+		m, k, n := shape[0], shape[1], shape[2]
+
+		// Operands per kernel orientation (see the package functions).
+		a := randMatrix(r, m, k)  // MatMul, ABT, Stream
+		at := randMatrix(r, k, m) // ATB, ATBAcc (transposed-left operand)
+		b := randMatrix(r, k, n)  // MatMul, ATB, ATBAcc
+		bt := randMatrix(r, n, k) // ABT, Stream (transposed-right operand)
+		acc := randMatrix(r, m, n)
+
+		wantMM := NewMatrix(m, n)
+		MatMul(wantMM, a, b)
+		wantATB := NewMatrix(m, n)
+		MatMulATB(wantATB, at, b)
+		wantAcc := NewMatrix(m, n)
+		copy(wantAcc.Data, acc.Data)
+		MatMulATBAcc(wantAcc, at, b)
+		wantABT := NewMatrix(m, n)
+		MatMulABT(wantABT, a, bt)
+		wantStream := NewMatrix(m, n)
+		MatMulABTStream(wantStream, a, bt)
+
+		for _, workers := range backendWorkerCounts {
+			be := New(workers)
+			ctx := fmt.Sprintf("shape %dx%dx%d workers %d", m, k, n, workers)
+
+			got := NewMatrix(m, n)
+			be.MatMul(got, a, b)
+			bitsEqual(t, ctx+" MatMul", got, wantMM)
+
+			got.Zero()
+			be.MatMulATB(got, at, b)
+			bitsEqual(t, ctx+" MatMulATB", got, wantATB)
+
+			copy(got.Data, acc.Data)
+			be.MatMulATBAcc(got, at, b)
+			bitsEqual(t, ctx+" MatMulATBAcc", got, wantAcc)
+
+			got.Zero()
+			be.MatMulABT(got, a, bt)
+			bitsEqual(t, ctx+" MatMulABT", got, wantABT)
+
+			got.Zero()
+			be.MatMulABTStream(got, a, bt)
+			bitsEqual(t, ctx+" MatMulABTStream", got, wantStream)
+
+			if p, ok := be.(*Parallel); ok {
+				p.Close()
+			}
+		}
+	}
+}
+
+// TestBackendSharedAcrossCalls exercises one long-lived Parallel across many
+// consecutive calls (the trainer and server hold a single instance for the
+// whole process) — reusing the parked helpers must stay bit-identical.
+func TestBackendSharedAcrossCalls(t *testing.T) {
+	r := rng.New(7)
+	p := NewParallel(4)
+	defer p.Close()
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := r.Intn(40)+1, r.Intn(40)+1, r.Intn(40)+1
+		a, b := randMatrix(r, m, k), randMatrix(r, k, n)
+		want := NewMatrix(m, n)
+		MatMul(want, a, b)
+		got := NewMatrix(m, n)
+		p.MatMul(got, a, b)
+		bitsEqual(t, fmt.Sprintf("trial %d (%dx%dx%d)", trial, m, k, n), got, want)
+	}
+}
+
+// TestBackendNaNInfPropagation is the regression test for the zero-skip
+// poison bug: the kernels skip the inner loop when a[i][k] == 0, but IEEE
+// 0×Inf and 0×NaN are NaN, so skipping a b-row that carries Inf/NaN silently
+// dropped the poison instead of propagating it. The skip is now gated on the
+// b-row being finite; NaN and Inf must reach the output — and identically
+// through every backend.
+func TestBackendNaNInfPropagation(t *testing.T) {
+	poisons := []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))}
+	for pi, poison := range poisons {
+		r := rng.New(uint64(1000 + pi))
+		// Shape large enough to dispatch tiles at workers > 1.
+		m, k, n := 17, 33, 64
+
+		a := randMatrix(r, m, k)
+		b := randMatrix(r, k, n)
+		// Zero an entire a-column so every row skips k = 5, and poison that
+		// b-row: the buggy skip loses it, the finite-gated skip keeps it.
+		for i := 0; i < m; i++ {
+			a.Set(i, 5, 0)
+		}
+		b.Set(5, 12, poison)
+
+		want := NewMatrix(m, n)
+		MatMul(want, a, b)
+		for i := 0; i < m; i++ {
+			if v := want.At(i, 12); !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+				t.Fatalf("serial MatMul dropped %v: row %d col 12 = %v", poison, i, v)
+			}
+		}
+
+		// ATBAcc orientation: zero an a-row (skips the whole k = 5 term) and
+		// poison b's k = 5 row.
+		at := randMatrix(r, k, m)
+		for j := 0; j < m; j++ {
+			at.Set(5, j, 0)
+		}
+		wantAcc := NewMatrix(m, n)
+		MatMulATBAcc(wantAcc, at, b)
+		sawPoison := false
+		for i := range wantAcc.Data {
+			f := float64(wantAcc.Data[i])
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				sawPoison = true
+				break
+			}
+		}
+		if !sawPoison {
+			t.Fatalf("serial MatMulATBAcc dropped %v entirely", poison)
+		}
+
+		for _, workers := range backendWorkerCounts {
+			be := New(workers)
+			ctx := fmt.Sprintf("poison %v workers %d", poison, workers)
+
+			got := NewMatrix(m, n)
+			be.MatMul(got, a, b)
+			bitsEqual(t, ctx+" MatMul", got, want)
+
+			got = NewMatrix(m, n)
+			be.MatMulATBAcc(got, at, b)
+			bitsEqual(t, ctx+" MatMulATBAcc", got, wantAcc)
+
+			if p, ok := be.(*Parallel); ok {
+				p.Close()
+			}
+		}
+	}
+}
+
+// TestAllFinite pins the finiteness scan the skip gate relies on.
+func TestAllFinite(t *testing.T) {
+	if !allFinite(nil) || !allFinite([]float32{}) {
+		t.Fatal("empty slices are vacuously finite")
+	}
+	if !allFinite([]float32{1, -2, 0, 3.5, -0.25}) {
+		t.Fatal("finite slice misreported")
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for pos := 0; pos < 6; pos++ { // cover unrolled body and tail
+			x := []float32{1, 2, 3, 4, 5, 6}
+			x[pos] = float32(bad)
+			if allFinite(x) {
+				t.Fatalf("allFinite missed %v at index %d", bad, pos)
+			}
+		}
+	}
+}
+
+// TestParallelDispatchZeroAlloc guards the persistent-pool design: once the
+// helpers exist, a kernel call must not allocate — the serving hot loop and
+// the per-timestep training matmuls run through this path. AllocsPerRun
+// warms up once before measuring, so the pool spawn in NewParallel is
+// excluded. The race detector instruments channel ops with allocations, so
+// the measurement is meaningless under -race.
+func TestParallelDispatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	p := NewParallel(4)
+	defer p.Close()
+	r := rng.New(5)
+	a := randMatrix(r, 64, 64)
+	b := randMatrix(r, 64, 64)
+	bt := randMatrix(r, 64, 64)
+	dst := NewMatrix(64, 64)
+	kernels := map[string]func(){
+		"MatMul":          func() { p.MatMul(dst, a, b) },
+		"MatMulATBAcc":    func() { p.MatMulATBAcc(dst, a, b) },
+		"MatMulABT":       func() { p.MatMulABT(dst, a, bt) },
+		"MatMulABTStream": func() { p.MatMulABTStream(dst, a, bt) },
+	}
+	for name, fn := range kernels {
+		if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+			t.Errorf("%s: %v allocations per call through the parallel backend, want 0", name, allocs)
+		}
+	}
+}
+
+// TestBackendConstructors pins the knob semantics the commands rely on.
+func TestBackendConstructors(t *testing.T) {
+	if _, ok := New(0).(Serial); !ok {
+		t.Fatal("New(0) must be the serial reference")
+	}
+	if _, ok := New(1).(Serial); !ok {
+		t.Fatal("New(1) must be the serial reference")
+	}
+	p, ok := New(3).(*Parallel)
+	if !ok {
+		t.Fatal("New(3) must be a *Parallel")
+	}
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	p.Close()
+	p.Close() // idempotent
+
+	SetDefaultWorkers(2)
+	if Default().Workers() != 2 {
+		t.Fatal("SetDefaultWorkers(2) not reflected in Default()")
+	}
+	SetDefaultWorkers(0)
+	if Default().Workers() != 1 {
+		t.Fatal("SetDefaultWorkers(0) must restore the serial default")
+	}
+}

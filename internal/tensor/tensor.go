@@ -90,20 +90,64 @@ func (m *Matrix) RandomizeUniform(r *rng.RNG, bound float64) {
 // dst must not alias a or b. The kernel uses ikj order so the inner loop
 // streams both b and dst rows sequentially.
 func MatMul(dst, a, b *Matrix) {
+	checkMatMul(dst, a, b)
+	matMulRows(dst, a, b, 0, a.Rows)
+}
+
+func checkMatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
+}
+
+// matMulRows is the MatMul kernel over dst rows [lo, hi). Each output row
+// depends only on a's matching row, so any row partition computes every
+// element with exactly the serial pass's operations in the same order.
+//
+// The aik == 0 skip saves the axpy for sparse multipliers (dropout-masked
+// gradients), but IEEE 0×Inf and 0×NaN are NaN, not 0 — skipping a poisoned
+// b row would silently erase a diverged activation. The skip therefore also
+// requires the b row to be finite; the finiteness scan only runs on the
+// skip path, so fully dense inputs pay nothing.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
 		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
 		for k := 0; k < a.Cols; k++ {
 			aik := ar[k]
-			if aik == 0 {
+			br := b.Row(k)
+			if aik == 0 && allFinite(br) {
 				continue
 			}
-			axpy(aik, dr, b.Row(k))
+			axpy(aik, dr, br)
+		}
+	}
+}
+
+// matMulCols is the MatMul kernel over dst columns [lo, hi), the tiling used
+// when a has too few rows to split (a batch-1 backward). Every dst element
+// accumulates over k in ascending order exactly as in matMulRows, just
+// restricted to a column range, so the two tilings are bit-identical. The
+// skip's finiteness test always scans the full b row — the tile must make
+// the same skip decision the serial kernel would.
+func matMulCols(dst, a, b *Matrix, lo, hi int) {
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)[lo:hi]
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k := 0; k < a.Cols; k++ {
+			aik := ar[k]
+			br := b.Row(k)
+			if aik == 0 && allFinite(br) {
+				continue
+			}
+			axpy(aik, dr, br[lo:hi])
 		}
 	}
 }
@@ -111,10 +155,7 @@ func MatMul(dst, a, b *Matrix) {
 // MatMulATB computes dst = aᵀ @ b. Shapes: a is k x m, b is k x n,
 // dst is m x n. Used by backward passes (weight gradients).
 func MatMulATB(dst, a, b *Matrix) {
-	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch (%dx%d)T@(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
+	checkMatMulATB(dst, a, b)
 	dst.Zero()
 	MatMulATBAcc(dst, a, b)
 }
@@ -125,34 +166,127 @@ func MatMulATB(dst, a, b *Matrix) {
 // once instead of writing, re-reading, and adding a full scratch matrix —
 // the dominant memory traffic of weight-gradient accumulation.
 func MatMulATBAcc(dst, a, b *Matrix) {
+	checkMatMulATB(dst, a, b)
+	matMulATBAccRows(dst, a, b, 0, a.Cols)
+}
+
+func checkMatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulATBAcc shape mismatch (%dx%d)T@(%dx%d)->(%dx%d)",
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch (%dx%d)T@(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+}
+
+// matMulATBAccRows is the MatMulATBAcc kernel over dst rows [lo, hi) — that
+// is, over a's columns. dst row i accumulates a[k][i]·b.Row(k) for k in
+// ascending order, and that per-row accumulation order is independent of how
+// the i range is partitioned, so any row tiling is bit-identical to the
+// serial pass with no reduction step and no atomics. (Partitioning over k
+// instead — per-worker accumulators plus a final reduce — would regroup the
+// float adds and change low bits, which is why the parallel backend tiles
+// the output rows.)
+//
+// As in matMulRows, the zero-multiplier skip also requires the b row to be
+// finite so NaN/Inf poison propagates; brFinite memoizes the scan per k.
+func matMulATBAccRows(dst, a, b *Matrix, lo, hi int) {
 	for k := 0; k < a.Rows; k++ {
 		ar := a.Row(k)
 		br := b.Row(k)
-		for i, aki := range ar {
+		brChecked, brFinite := false, false
+		for i := lo; i < hi; i++ {
+			aki := ar[i]
 			if aki == 0 {
-				continue
+				if !brChecked {
+					brChecked, brFinite = true, allFinite(br)
+				}
+				if brFinite {
+					continue
+				}
 			}
 			axpy(aki, dst.Row(i), br)
 		}
 	}
 }
 
+// matMulATBAccCols is the MatMulATBAcc kernel over dst columns [lo, hi),
+// used when aᵀ has too few rows to split. Element-wise identical to the row
+// tiling (same ascending-k accumulation per element, finiteness judged on
+// the full b row).
+func matMulATBAccCols(dst, a, b *Matrix, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		brChecked, brFinite := false, false
+		for i, aki := range ar {
+			if aki == 0 {
+				if !brChecked {
+					brChecked, brFinite = true, allFinite(br)
+				}
+				if brFinite {
+					continue
+				}
+			}
+			axpy(aki, dst.Row(i)[lo:hi], br[lo:hi])
+		}
+	}
+}
+
+// allFinite reports whether every element is finite (no NaN or ±Inf). The
+// trick: v−v is ±0 for finite v and NaN otherwise, and a sum of signed
+// zeros compares equal to 0 while any NaN poisons it — one branch for the
+// whole slice.
+func allFinite(x []float32) bool {
+	var s0, s1, s2, s3 float32
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += x[i] - x[i]
+		s1 += x[i+1] - x[i+1]
+		s2 += x[i+2] - x[i+2]
+		s3 += x[i+3] - x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for i := n; i < len(x); i++ {
+		s += x[i] - x[i]
+	}
+	return s == 0
+}
+
 // MatMulABT computes dst = a @ bᵀ. Shapes: a is m x k, b is n x k,
 // dst is m x n. Used by backward passes (input gradients) and by the
 // output-embedding logits (hidden @ embeddingᵀ).
 func MatMulABT(dst, a, b *Matrix) {
+	checkMatMulABT(dst, a, b)
+	matMulABTRows(dst, a, b, 0, a.Rows)
+}
+
+func checkMatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch (%dx%d)@(%dx%d)T->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
+}
+
+// matMulABTRows is the MatMulABT kernel over dst rows [lo, hi). Every
+// element is an independent full-length Dot, so any partition of rows or
+// columns is trivially bit-identical to the serial pass.
+func matMulABTRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
 		dr := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
+			dr[j] = Dot(ar, b.Row(j))
+		}
+	}
+}
+
+// matMulABTCols is the MatMulABT kernel over dst columns [lo, hi) — b rows
+// lo..hi — used when a has too few rows to split (a small serving batch
+// against a V×D embedding).
+func matMulABTCols(dst, a, b *Matrix, lo, hi int) {
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := lo; j < hi; j++ {
 			dr[j] = Dot(ar, b.Row(j))
 		}
 	}
@@ -171,23 +305,49 @@ func MatMulABT(dst, a, b *Matrix) {
 // MatMulABT — and a batch row computes the same bits it would in a batch
 // of one, the serving layer's correctness contract.
 func MatMulABTStream(dst, a, b *Matrix) {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulABTStream shape mismatch (%dx%d)@(%dx%d)T->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
+	checkMatMulABT(dst, a, b)
+	matMulABTStreamRows(dst, a, b, 0, a.Rows)
+}
+
+// matMulABTStreamRows is the MatMulABTStream kernel over dst rows [lo, hi).
+// Because dot2 computes each row's result bit-identically to Dot, the
+// pairing of a's rows never changes any value — any row range produces the
+// same bits as MatMulABT. (The parallel backend still aligns tile starts to
+// even rows so the two-row blocking keeps its throughput.)
+func matMulABTStreamRows(dst, a, b *Matrix, lo, hi int) {
 	n := dst.Cols
-	i := 0
-	for ; i+2 <= a.Rows; i += 2 {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
 		a0, a1 := a.Row(i), a.Row(i+1)
 		d0, d1 := dst.Row(i), dst.Row(i+1)
 		for j := 0; j < n; j++ {
 			d0[j], d1[j] = dot2(a0, a1, b.Row(j))
 		}
 	}
-	if i < a.Rows {
+	if i < hi {
 		ar := a.Row(i)
 		dr := dst.Row(i)
 		for j := 0; j < n; j++ {
+			dr[j] = Dot(ar, b.Row(j))
+		}
+	}
+}
+
+// matMulABTStreamCols is the MatMulABTStream kernel over dst columns
+// [lo, hi): the full two-row blocking over a, restricted to b rows lo..hi.
+func matMulABTStreamCols(dst, a, b *Matrix, lo, hi int) {
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		a0, a1 := a.Row(i), a.Row(i+1)
+		d0, d1 := dst.Row(i), dst.Row(i+1)
+		for j := lo; j < hi; j++ {
+			d0[j], d1[j] = dot2(a0, a1, b.Row(j))
+		}
+	}
+	if i < a.Rows {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := lo; j < hi; j++ {
 			dr[j] = Dot(ar, b.Row(j))
 		}
 	}

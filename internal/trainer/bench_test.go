@@ -1,0 +1,59 @@
+package trainer
+
+import (
+	"runtime"
+	"testing"
+
+	"zipflm/internal/core"
+	"zipflm/internal/model"
+	"zipflm/internal/sampling"
+)
+
+// runStepBench measures full training steps (forward, backward, exchange,
+// optimizer) with the replicas' kernels tiled across the given worker
+// count. The model is sized so the softmax and recurrent matmuls clear the
+// backend's serial cutoff — small enough to stay a benchmark, big enough
+// that tiling is what's measured. The bit-identity suite guarantees every
+// worker count computes the same bits, so these benches differ only in
+// wall-clock; on a single-core runner (GOMAXPROCS=1, visible in the
+// benchmark name's -N suffix) the tiled counts measure dispatch overhead
+// rather than speedup.
+func runStepBench(b *testing.B, workers int) {
+	train, valid := smallData(1000, 30000, 21)
+	cfg := Config{
+		Model:        model.Config{Vocab: 1000, Dim: 64, Hidden: 96, RNN: model.KindLSTM},
+		Ranks:        1,
+		BatchPerRank: 4,
+		SeqLen:       12,
+		LR:           0.1,
+		Exchange:     core.UniqueExchange{},
+		SeedStrategy: sampling.AllDifferent,
+		BaseSeed:     3,
+		Workers:      workers,
+	}
+	tr, err := New(cfg, train, valid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := tr.Steps(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	tokens := float64(b.N) * float64(cfg.Ranks*cfg.BatchPerRank*cfg.SeqLen)
+	b.ReportMetric(tokens/b.Elapsed().Seconds(), "tok/s")
+}
+
+// BenchmarkStepWorkers1 is the serial reference every tiled count is
+// compared against.
+func BenchmarkStepWorkers1(b *testing.B) { runStepBench(b, 1) }
+
+// BenchmarkStepWorkers2 tiles each matmul across 2 goroutines.
+func BenchmarkStepWorkers2(b *testing.B) { runStepBench(b, 2) }
+
+// BenchmarkStepWorkers4 tiles each matmul across 4 goroutines.
+func BenchmarkStepWorkers4(b *testing.B) { runStepBench(b, 4) }
+
+// BenchmarkStepWorkersMax tiles across GOMAXPROCS goroutines — the widest
+// split the runner can execute in parallel.
+func BenchmarkStepWorkersMax(b *testing.B) { runStepBench(b, runtime.GOMAXPROCS(0)) }

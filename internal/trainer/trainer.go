@@ -77,6 +77,16 @@ type Config struct {
 	NewSampler func(vocab int, seed uint64) sampling.CandidateSampler
 	// BaseSeed makes the whole run reproducible.
 	BaseSeed uint64
+	// Workers selects the tensor compute backend for every replica: > 1
+	// tiles each matmul across that many goroutines (one shared
+	// tensor.Parallel — the ranks' kernel calls serialize on it, each call
+	// then using every worker, like simulated GPUs sharing one device).
+	// 0 keeps the process default (tensor.Default, which honors
+	// ZIPFLM_WORKERS); 1 forces the serial reference. Every setting
+	// produces bit-identical replicas, gradients, and losses — the backend
+	// contract — so Workers is a speed knob, not part of the trajectory,
+	// and deliberately not persisted in checkpoints.
+	Workers int
 	// DeviceCapacity bounds per-rank memory (0 = unlimited).
 	DeviceCapacity int64
 	// ClipNorm, when > 0, clips each dense gradient tensor's L2 norm.
@@ -336,8 +346,15 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	t.opts = make([]optim.Optimizer, cfg.Ranks)
 	mc := cfg.Model
 	mc.Seed = cfg.BaseSeed
+	var be tensor.Backend
+	if cfg.Workers > 0 {
+		be = tensor.New(cfg.Workers)
+	}
 	for r := 0; r < cfg.Ranks; r++ {
 		t.models[r] = model.NewLM(mc)
+		if be != nil {
+			t.models[r].SetBackend(be)
+		}
 		if r > 0 {
 			t.models[r].CopyWeightsFrom(t.models[0])
 		}

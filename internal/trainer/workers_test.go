@@ -1,0 +1,101 @@
+package trainer
+
+import (
+	"testing"
+
+	"zipflm/internal/core"
+	"zipflm/internal/optim"
+)
+
+// TestWorkersBitIdentical is the trainer-level statement of the backend
+// contract: a run whose replicas compute through the goroutine-tiled tensor
+// backend reaches exactly the same weights and validation loss as the
+// serial run — Config.Workers is a speed knob, never a trajectory knob.
+func TestWorkersBitIdentical(t *testing.T) {
+	train, valid := smallData(60, 4000, 13)
+	run := func(workers int, sampled int, adam bool) (*Trainer, float64) {
+		cfg := smallConfig(2, core.UniqueExchange{})
+		cfg.Workers = workers
+		cfg.Model.Sampled = sampled
+		if adam {
+			cfg.NewOptimizer = func() optim.Optimizer { return optim.NewAdam(1e-5) }
+		}
+		tr, err := New(cfg, train, valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Steps(12); err != nil {
+			t.Fatal(err)
+		}
+		return tr, tr.Validate()
+	}
+	for _, mode := range []struct {
+		name    string
+		sampled int
+		adam    bool
+	}{{"full-sgd", 0, false}, {"sampled-adam", 12, true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			serial, lossSerial := run(1, mode.sampled, mode.adam)
+			for _, workers := range []int{2, 4} {
+				tiled, lossTiled := run(workers, mode.sampled, mode.adam)
+				if lossSerial != lossTiled {
+					t.Fatalf("workers=%d: validation loss %v != serial %v", workers, lossTiled, lossSerial)
+				}
+				requireIdenticalModels(t, mode.name, serial.Model(0), tiled.Model(0))
+				if err := tiled.ReplicasInSync(); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersResumeBitIdentical crosses the backend knob with the resume
+// contract: a checkpoint written by a serial run, resumed with Workers=4
+// (and vice versa), must continue exactly the serial trajectory — the
+// backend is a runtime property, deliberately absent from checkpoints.
+func TestWorkersResumeBitIdentical(t *testing.T) {
+	train, valid := smallData(60, 800, 14)
+	const leg = 8
+
+	full, err := New(smallConfig(2, core.UniqueExchange{}), train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Steps(2 * leg); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, legs := range []struct {
+		name           string
+		first, resumed int
+	}{{"serial-then-tiled", 1, 4}, {"tiled-then-serial", 4, 1}} {
+		t.Run(legs.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := smallConfig(2, core.UniqueExchange{})
+			cfg.CheckpointEvery = leg
+			cfg.CheckpointDir = dir
+			cfg.Workers = legs.first
+			first, err := New(cfg, train, valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := first.Steps(leg); err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Workers = legs.resumed
+			resumed, err := Resume(cfg, dir, train, valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Steps(leg); err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalModels(t, legs.name, full.Model(0), resumed.Model(0))
+			if lf, lr := full.Validate(), resumed.Validate(); lf != lr {
+				t.Fatalf("validation loss differs: serial %v vs %s %v", lf, legs.name, lr)
+			}
+		})
+	}
+}

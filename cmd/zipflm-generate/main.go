@@ -7,6 +7,13 @@
 //	zipflm-generate -model model.ckpt -vocab vocab.ckpt -prompt "the cat" -n 30
 //	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -temperature 0.8 -topk 40
 //	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -topp 0.9
+//	zipflm-generate -model model.ckpt -prompt-ids 4,7,1 -quantized -draft draft.ckpt -draft-k 4
+//
+// -quantized runs inference on int8 weights (deterministic, faster on
+// memory-bound models; output differs from FP32 by design). -draft enables
+// speculative decoding with a small same-vocabulary draft model — output is
+// bit-identical to plain generation at every temperature; the draft only
+// changes the cost per token, and the acceptance rate is printed to stderr.
 package main
 
 import (
@@ -33,6 +40,9 @@ func main() {
 		topK      = flag.Int("topk", 0, "restrict sampling to the K most probable tokens (0 = off)")
 		topP      = flag.Float64("topp", 0, "nucleus sampling mass in (0,1) (0 = off)")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
+		quantized = flag.Bool("quantized", false, "run inference on int8 weights")
+		draftPath = flag.String("draft", "", "draft model checkpoint enabling speculative decoding")
+		draftK    = flag.Int("draft-k", 4, "speculative lookahead tokens per round (with -draft)")
 	)
 	flag.Parse()
 
@@ -75,7 +85,31 @@ func main() {
 	if err := opts.Validate(); err != nil {
 		fatal(err)
 	}
-	out := m.GenerateOpts(ids, *n, opts, rng.New(*seed))
+	if *quantized {
+		m.QuantizeWeights()
+	}
+	var out []int
+	if *draftPath != "" {
+		df, err := os.Open(*draftPath)
+		if err != nil {
+			fatal(err)
+		}
+		draft, err := model.Load(df)
+		df.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if draft.Cfg.Vocab != m.Cfg.Vocab {
+			fatal(fmt.Errorf("draft vocabulary %d does not match model vocabulary %d", draft.Cfg.Vocab, m.Cfg.Vocab))
+		}
+		sd := model.NewSpecDecoder(m, draft, *draftK)
+		out = sd.Generate(ids, *n, opts, rng.New(*seed))
+		st := sd.Stats()
+		fmt.Fprintf(os.Stderr, "zipflm-generate: speculative k=%d: %d rounds, %d/%d proposals accepted (%.0f%%), %d draft steps\n",
+			*draftK, st.Rounds, st.Accepted, st.Proposed, 100*st.AcceptanceRate(), st.DraftSteps)
+	} else {
+		out = m.GenerateOpts(ids, *n, opts, rng.New(*seed))
+	}
 	if vocab != nil {
 		words := make([]string, len(out))
 		for i, id := range out {

@@ -62,6 +62,9 @@ func main() {
 		cache     = flag.Int("cache", 1024, "result cache entries (0 disables)")
 		prefixes  = flag.Int("prefix-cache", 256, "prefix cache entries (0 disables)")
 		window    = flag.Duration("batch-window", 0, "linger this long assembling a fresh batch")
+		quantized = flag.Bool("quantized", false, "serve on int8 weights (deterministic; faster memory-bound decode)")
+		draftPath = flag.String("draft", "", "draft model checkpoint enabling speculative decoding (same vocabulary)")
+		draftK    = flag.Int("draft-k", 4, "speculative lookahead tokens per round (with -draft)")
 		watch     = flag.Duration("watch", 0, "poll the -model checkpoint directory at this interval and hot-reload new checkpoints (0 disables)")
 		loadN     = flag.Int("loadgen", 0, "run N closed-loop requests in-process instead of serving HTTP")
 		clients   = flag.Int("clients", 8, "loadgen concurrency")
@@ -96,6 +99,17 @@ func main() {
 		}
 	}
 
+	var draft *model.LM
+	if *draftPath != "" {
+		draft, _, err = loadWeights(*draftPath)
+		if err != nil {
+			fatal(fmt.Errorf("draft: %w", err))
+		}
+		if draft.Cfg.Vocab != m.Cfg.Vocab {
+			fatal(fmt.Errorf("draft vocabulary %d does not match model vocabulary %d", draft.Cfg.Vocab, m.Cfg.Vocab))
+		}
+	}
+
 	srv := serve.New(m, serve.Config{
 		Workers:        *workers,
 		ComputeWorkers: *computeW,
@@ -104,6 +118,9 @@ func main() {
 		CacheEntries:   *cache,
 		PrefixEntries:  *prefixes,
 		BatchWindow:    *window,
+		Quantized:      *quantized,
+		Draft:          draft,
+		DraftK:         *draftK,
 	})
 	defer srv.Close()
 
@@ -142,8 +159,15 @@ func main() {
 		handleReload(w, r, srv, weights)
 	})
 
-	fmt.Fprintf(os.Stderr, "zipflm-serve: listening on %s (vocab %d, %d workers × batch %d, queue %d)\n",
-		*addr, m.Cfg.Vocab, *workers, *maxBatch, *queue)
+	mode := "fp32"
+	if *quantized {
+		mode = "int8"
+	}
+	if draft != nil {
+		mode += fmt.Sprintf(", speculative k=%d", *draftK)
+	}
+	fmt.Fprintf(os.Stderr, "zipflm-serve: listening on %s (vocab %d, %d workers × batch %d, queue %d, %s)\n",
+		*addr, m.Cfg.Vocab, *workers, *maxBatch, *queue, mode)
 
 	// Graceful shutdown: stop admitting, drain in-flight generations
 	// through the serve layer's ErrShutdown path (handlers answer their
@@ -340,9 +364,12 @@ func handleGenerate(w http.ResponseWriter, r *http.Request, srv *serve.Server, v
 }
 
 // reloadRequest is the /v1/reload request body; an empty path re-reads the
-// currently-served source (e.g. a republished file or directory).
+// currently-served source (e.g. a republished file or directory). draft_path,
+// on a speculative server, swaps the draft weights in the same reload so the
+// target/draft pair installs atomically.
 type reloadRequest struct {
-	Path string `json:"path,omitempty"`
+	Path      string `json:"path,omitempty"`
+	DraftPath string `json:"draft_path,omitempty"`
 }
 
 func handleReload(w http.ResponseWriter, r *http.Request, srv *serve.Server, weights *weightsInfo) {
@@ -366,7 +393,14 @@ func handleReload(w http.ResponseWriter, r *http.Request, srv *serve.Server, wei
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	v, err := srv.Reload(m)
+	var draft *model.LM
+	if in.DraftPath != "" {
+		if draft, _, err = loadWeights(in.DraftPath); err != nil {
+			http.Error(w, "draft: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	v, err := srv.ReloadWithDraft(m, draft)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -407,6 +441,13 @@ func statsJSON(s serve.Snapshot, weights *weightsInfo) map[string]any {
 		"hit_rate":          s.HitRate(),
 		"weights_version":   s.WeightsVersion,
 		"reloads":           s.Reloads,
+		"quantized":         s.Quantized,
+		"draft_k":           s.DraftK,
+		"spec_rounds":       s.SpecRounds,
+		"draft_proposed":    s.DraftProposed,
+		"draft_accepted":    s.DraftAccepted,
+		"draft_steps":       s.DraftSteps,
+		"acceptance_rate":   s.SpecAcceptanceRate(),
 		"checkpoint": map[string]any{
 			"source":    source,
 			"step":      step,

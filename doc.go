@@ -59,6 +59,28 @@
 // BenchmarkServe* benchmarks in internal/serve compare batched and
 // sequential throughput.
 //
+// # Quantized & speculative decode: int8 kernels, draft-verified lookahead
+//
+// Two optimizations attack the serving hot path's per-token cost without
+// loosening any determinism contract. LM.Quantize builds a serving replica
+// whose output embedding and recurrent weights are stored as per-chunk
+// scaled int8 (tensor.QMatrix, the same round-to-nearest grid as
+// compress.Quant8); the MatMulABTStreamQ8/MatVecQ8 kernels dequantize
+// in-register, on amd64 through an SSE4.1 assembly inner loop whose
+// accumulation order is exactly the portable definition's, so quantized
+// results are bit-identical across Serial, Parallel, worker counts, and
+// the asm/Go boundary. Speculative decoding (model.SpecDecoder,
+// serve.Config.Draft) has a small same-vocabulary draft propose k greedy
+// lookahead tokens which the target verifies in one batched Stepper step,
+// rolling back at the first mismatch; every emitted token is sampled from
+// the target's own logits at its true prefix, so output is bit-identical
+// to sequential model.Generate at every temperature — the draft only
+// changes the cost per token. Both surface on zipflm-serve and
+// zipflm-generate (-quantized, -draft, -draft-k), /v1/stats reports the
+// acceptance rate, /v1/reload swaps target and draft atomically, and the
+// serving experiment's second table measures tok/s and acceptance for a
+// trained target/draft pairing.
+//
 // # Fault tolerance: checkpoints, deterministic resume, failure injection
 //
 // internal/ckpt makes the training and serving stacks crash-safe the way

@@ -241,6 +241,40 @@ func TestQuant8ZeroChunkUntouched(t *testing.T) {
 	}
 }
 
+// TestQuant8EncodeDecodeMatchesRoundTrip: the split halves are the same
+// quantizer — Encode then Decode lands on RoundTrip's exact bits, including
+// the degenerate all-zero chunk (scale 0 decodes to zeros, which is what the
+// fused passthrough leaves behind). Nearest mode only: the split is for
+// encode-once/decode-many weight storage, which is deterministic by contract.
+func TestQuant8EncodeDecodeMatchesRoundTrip(t *testing.T) {
+	x := randVec(1000, 13)
+	// Plant an all-zero chunk and some non-finite elements so the sanitize
+	// and passthrough paths are exercised too.
+	for i := 512; i < 768; i++ {
+		x[i] = 0
+	}
+	x[3] = float32(math.Inf(1))
+	x[900] = float32(math.NaN())
+	fused := append([]float32(nil), x...)
+
+	q := NewQuant8(256, false, 0)
+	codes := make([]int8, len(x))
+	scales := make([]float32, q.Chunks(len(x)))
+	q.Encode(x, codes, scales)
+	split := make([]float32, len(x))
+	q.Decode(split, codes, scales)
+
+	NewQuant8(256, false, 0).RoundTrip(fused)
+	for i := range fused {
+		if math.Float32bits(split[i]) != math.Float32bits(fused[i]) {
+			t.Fatalf("split decode differs from RoundTrip at %d: %v vs %v", i, split[i], fused[i])
+		}
+	}
+	if scales[2] != 0 {
+		t.Fatalf("all-zero chunk scale = %v, want 0", scales[2])
+	}
+}
+
 func TestQuant8WireBytes(t *testing.T) {
 	q := NewQuant8(256, false, 0)
 	if got := q.WireBytes(256); got != 256+4 {

@@ -31,6 +31,9 @@ type Quant8 struct {
 	// Stochastic selects stochastic rounding; false rounds to nearest.
 	Stochastic bool
 	r          *rng.RNG
+	// codes is RoundTrip's per-chunk scratch, grown on demand so the ring
+	// hot path stays allocation-free at steady state.
+	codes []int8
 }
 
 // NewQuant8 returns a per-rank quantizer. The seed matters only in
@@ -52,21 +55,75 @@ func (q *Quant8) WireBytes(n int) int {
 	return n + 4*chunks
 }
 
+// Chunks returns the number of scale blocks n elements occupy — the length
+// Encode requires of its scales argument.
+func (q *Quant8) Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + q.ChunkElems - 1) / q.ChunkElems
+}
+
 // RoundTrip implements collective.Wire: quantize x to the per-chunk int8
-// grid in place. All-zero chunks pass through untouched (their scale is
-// degenerate and a real encoder would skip them).
+// grid in place — Encode then Decode, fused per chunk. All-zero chunks pass
+// through untouched (their scale is degenerate and a real encoder would skip
+// them), which is why the fused path exists alongside the split halves: the
+// wire behavior predates them and must stay bit-identical.
 func (q *Quant8) RoundTrip(x []float32) {
+	if cap(q.codes) < q.ChunkElems {
+		q.codes = make([]int8, q.ChunkElems)
+	}
 	for lo := 0; lo < len(x); lo += q.ChunkElems {
 		hi := lo + q.ChunkElems
 		if hi > len(x) {
 			hi = len(x)
 		}
-		q.roundChunk(x[lo:hi])
+		c := x[lo:hi]
+		codes := q.codes[:len(c)]
+		if scale := q.encodeChunk(codes, c); scale != 0 {
+			decodeChunk(c, codes, scale)
+		}
 	}
 }
 
-// roundChunk quantizes one scale block.
-func (q *Quant8) roundChunk(c []float32) {
+// Encode quantizes x into int8 codes plus one FP32 scale per chunk — the
+// encode-once half for weight storage and decode-many consumers. Like
+// RoundTrip it sanitizes x in place before deriving scales (±Inf saturates to
+// ±MaxFloat32, NaN drops to 0). len(codes) must equal len(x) and len(scales)
+// must equal Chunks(len(x)). An all-zero chunk encodes as zero codes with
+// scale 0.
+func (q *Quant8) Encode(x []float32, codes []int8, scales []float32) {
+	if len(codes) != len(x) || len(scales) != q.Chunks(len(x)) {
+		panic("compress: Quant8.Encode buffer length mismatch")
+	}
+	for ci, lo := 0, 0; lo < len(x); ci, lo = ci+1, lo+q.ChunkElems {
+		hi := lo + q.ChunkElems
+		if hi > len(x) {
+			hi = len(x)
+		}
+		scales[ci] = q.encodeChunk(codes[lo:hi], x[lo:hi])
+	}
+}
+
+// Decode expands codes and scales produced by Encode into dst
+// (len(dst) == len(codes)). Decoding is stateless and may run any number of
+// times per Encode; a scale-0 chunk decodes to zeros.
+func (q *Quant8) Decode(dst []float32, codes []int8, scales []float32) {
+	if len(dst) != len(codes) || len(scales) != q.Chunks(len(codes)) {
+		panic("compress: Quant8.Decode buffer length mismatch")
+	}
+	for ci, lo := 0, 0; lo < len(codes); ci, lo = ci+1, lo+q.ChunkElems {
+		hi := lo + q.ChunkElems
+		if hi > len(codes) {
+			hi = len(codes)
+		}
+		decodeChunk(dst[lo:hi], codes[lo:hi], scales[ci])
+	}
+}
+
+// encodeChunk quantizes one scale block into codes, sanitizing c in place,
+// and returns the chunk scale (0 when the sanitized chunk is all zero).
+func (q *Quant8) encodeChunk(codes []int8, c []float32) float32 {
 	var maxAbs float32
 	for i, v := range c {
 		// Sanitize non-finite elements before the scale is derived, the
@@ -89,7 +146,10 @@ func (q *Quant8) roundChunk(c []float32) {
 		}
 	}
 	if maxAbs == 0 {
-		return
+		for i := range codes {
+			codes[i] = 0
+		}
+		return 0
 	}
 	scale := maxAbs / 127
 	inv := 1 / scale
@@ -111,14 +171,22 @@ func (q *Quant8) roundChunk(c []float32) {
 		} else if grid < -127 {
 			grid = -127
 		}
-		r := grid * scale
+		codes[i] = int8(grid)
+	}
+	return scale
+}
+
+// decodeChunk expands one scale block: dst[i] = codes[i]·scale, clamped back
+// to finite. (scale = maxAbs/127 rounds to nearest, so 127·scale can land one
+// ulp past the float32 range at extreme magnitudes; clamp rather than ship
+// Inf.)
+func decodeChunk(dst []float32, codes []int8, scale float32) {
+	for i, g := range codes {
+		r := float32(g) * scale
 		if math.IsInf(float64(r), 0) {
-			// scale = maxAbs/127 rounds to nearest, so 127·scale can land
-			// one ulp past the float32 range at extreme magnitudes; clamp
-			// back to finite rather than shipping Inf.
 			r = float32(math.Copysign(math.MaxFloat32, float64(r)))
 		}
-		c[i] = r
+		dst[i] = r
 	}
 }
 

@@ -389,8 +389,13 @@ func TestServingExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows()) != 3 {
+	if len(rep.Tables) != 2 || len(rep.Tables[0].Rows()) != 3 {
 		t.Fatalf("serving report malformed:\n%s", rep)
+	}
+	// The quant/spec table carries the four decode legs; the trained draft
+	// must achieve nonzero acceptance (a zero rate raises a WARNING note).
+	if rows := rep.Tables[1].Rows(); len(rows) != 4 {
+		t.Fatalf("quant/spec table has %d rows, want 4:\n%s", len(rows), rep)
 	}
 	for _, n := range rep.Notes {
 		if strings.Contains(n, "WARNING") {

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"time"
 
+	"zipflm/internal/core"
+	"zipflm/internal/corpus"
 	"zipflm/internal/metrics"
 	"zipflm/internal/model"
 	"zipflm/internal/powerlaw"
 	"zipflm/internal/sampling"
 	"zipflm/internal/serve"
+	"zipflm/internal/trainer"
 )
 
 func init() {
@@ -126,5 +129,147 @@ func runServing(opts Options) (*Report, error) {
 			"dynamic batching: %.2fx sequential throughput; + Zipf caching: %.2fx",
 			batTokS/seqTokS, cacheTokS/seqTokS))
 	}
-	return &Report{Tables: []*metrics.Table{tab}, Notes: notes}, nil
+
+	qsTab, qsNotes, err := runServingQuantSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, qsNotes...)
+	return &Report{Tables: []*metrics.Table{tab, qsTab}, Notes: notes}, nil
+}
+
+// runServingQuantSpec measures the two decode-side optimizations on the
+// pairing they were built for: a trained target plus a much smaller draft
+// trained on the same corpus, so the draft's greedy proposals actually track
+// the target (a cold random draft proposes noise and measures only the
+// overhead floor — the serve benchmarks bracket that separately). The load is
+// single-stream greedy with caches off: quantization and speculation both
+// attack the per-token decode cost, which batching and caching would mask.
+func runServingQuantSpec(opts Options) (*metrics.Table, []string, error) {
+	tmc := model.Config{Vocab: 800, Dim: 32, Hidden: 48, RNN: model.KindLSTM, Sampled: 48, Seed: opts.Seed}
+	dmc := model.Config{Vocab: 800, Dim: 12, Hidden: 16, RNN: model.KindRHN, RHNDepth: 2, Sampled: 48, Seed: opts.Seed + 1}
+	tokens := 40_000
+	epochs := 2
+	load := serve.LoadConfig{
+		Clients:    1,
+		Requests:   48,
+		PromptPool: 32,
+		ZipfS:      1.1,
+		Tokens:     24,
+		Opts:       sampling.DecodeOpts{Temperature: 0}, // greedy: acceptance measures model agreement
+		Seed:       opts.Seed,
+	}
+	if opts.Quick {
+		tokens = 10_000
+		epochs = 1
+		load.Requests = 16
+	}
+	load.Vocab = tmc.Vocab
+
+	// Shared corpus: low branching keeps the walk predictable enough that a
+	// small draft can learn the same local structure the target does.
+	gen := corpus.NewMarkovGenerator(corpus.MarkovConfig{
+		VocabSize:    tmc.Vocab - 1,
+		Branching:    4,
+		ZipfExponent: 1.2,
+		Seed:         opts.Seed,
+	})
+	stream := gen.Stream(tokens + tokens/10)
+	train, valid := corpus.Split(stream, 10, 100, opts.Seed)
+
+	trainOne := func(mc model.Config) (*model.LM, error) {
+		tr, err := trainer.New(trainer.Config{
+			Model:        mc,
+			Ranks:        1,
+			BatchPerRank: 4,
+			SeqLen:       16,
+			LR:           0.15,
+			ClipNorm:     1.0,
+			Exchange:     core.UniqueExchange{},
+			SeedStrategy: sampling.ZipfFreq,
+			BaseSeed:     opts.Seed,
+		}, train, valid)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tr.Run(epochs, 1); err != nil {
+			return nil, err
+		}
+		return tr.Model(0), nil
+	}
+	target, err := trainOne(tmc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serving: training target: %w", err)
+	}
+	draft, err := trainOne(dmc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serving: training draft: %w", err)
+	}
+
+	type leg struct {
+		name string
+		cfg  serve.Config
+	}
+	legs := []leg{
+		{"fp32", serve.Config{MaxBatch: 1, QueueDepth: 4}},
+		{"int8", serve.Config{MaxBatch: 1, QueueDepth: 4, Quantized: true}},
+		{"fp32+spec", serve.Config{MaxBatch: 1, QueueDepth: 4, Draft: draft, DraftK: 4}},
+		{"int8+spec", serve.Config{MaxBatch: 1, QueueDepth: 4, Quantized: true, Draft: draft, DraftK: 4}},
+	}
+
+	tab := metrics.NewTable("Quantized & speculative decode, single-stream greedy, trained target + draft:",
+		"config", "tok/s", "vs fp32", "accept", "draft steps", "rounds")
+	var fp32TokS float64
+	var acceptRate float64
+	for i, lg := range legs {
+		srv := serve.New(target, lg.cfg)
+		rep := serve.RunLoad(srv, load)
+		snap := srv.Stats()
+		srv.Close()
+		if rep.Failed > 0 {
+			return nil, nil, fmt.Errorf("serving: %d requests failed under %s", rep.Failed, lg.name)
+		}
+		tokS := rep.TokensPerSecond()
+		if i == 0 {
+			fp32TokS = tokS
+		}
+		speedup := "1.00x"
+		if i > 0 && fp32TokS > 0 {
+			speedup = fmt.Sprintf("%.2fx", tokS/fp32TokS)
+		}
+		accept, steps, rounds := "-", "-", "-"
+		if lg.cfg.Draft != nil {
+			acceptRate = snap.SpecAcceptanceRate()
+			accept = fmt.Sprintf("%.0f%%", 100*acceptRate)
+			steps = fmt.Sprintf("%d", snap.DraftSteps)
+			rounds = fmt.Sprintf("%d", snap.SpecRounds)
+		}
+		tab.AddRow(lg.name, fmt.Sprintf("%.0f", tokS), speedup, accept, steps, rounds)
+	}
+	qsNotes := []string{
+		fmt.Sprintf("quant/spec target: LSTM %d/%d/%d; draft: RHN %d/%d/%d (%.1fx fewer parameters), both trained %d epoch(s) on a shared Markov corpus",
+			tmc.Vocab, tmc.Dim, tmc.Hidden, dmc.Vocab, dmc.Dim, dmc.Hidden,
+			paramRatio(tmc, dmc), epochs),
+		"speculative responses are bit-identical to sequential model.Generate at every temperature (enforced by internal/serve tests); int8 legs are deterministic against the quantized reference",
+		"speculation trades FLOPs for steps: verifying j drafted tokens batches j rows through the target, which on a compute-bound host costs ~j sequential steps — the spec legs therefore measure acceptance honestly rather than claiming a speedup; the win appears where logits are memory-bound and a verify batch is ~free",
+	}
+	if acceptRate == 0 {
+		qsNotes = append(qsNotes, "WARNING: trained draft achieved zero acceptance — draft/target pairing is broken")
+	}
+	return tab, qsNotes, nil
+}
+
+// paramRatio approximates the target:draft parameter ratio for the note.
+func paramRatio(t, d model.Config) float64 {
+	count := func(c model.Config) float64 {
+		emb := float64(c.Vocab * c.Dim * 2)
+		var rnn float64
+		if c.RNN == model.KindRHN {
+			rnn = float64(c.RHNDepth) * 2 * float64((c.Dim+c.Hidden)*c.Hidden)
+		} else {
+			rnn = 4 * float64((c.Dim+c.Hidden+1)*c.Hidden)
+		}
+		return emb + rnn
+	}
+	return count(t) / count(d)
 }

@@ -57,6 +57,16 @@ func (s *GenState) Clone() *GenState {
 	return out
 }
 
+// CopyFrom overwrites s with src (same model required). Speculative decoding
+// snapshots and rolls back states with this on every round, so unlike Clone
+// it never allocates.
+func (s *GenState) CopyFrom(src *GenState) {
+	copy(s.h, src.h)
+	if s.c != nil {
+		copy(s.c, src.c)
+	}
+}
+
 // Stepper advances batches of sequences through a model one token at a
 // time. All scratch is allocated once at construction for the maximum batch
 // size; Step itself performs zero heap allocations, which the
@@ -122,11 +132,10 @@ func viewRows(m *tensor.Matrix, rows int) {
 	m.Data = m.Data[:rows*m.Cols]
 }
 
-// Step feeds token ids[i] to the sequence whose state is states[i] (state
-// updated in place) and returns the B×V next-token logits; Row(i) belongs
-// to sequence i. The returned matrix is scratch owned by the Stepper — it
-// is overwritten by the next Step, so sample from it (or copy it) first.
-func (st *Stepper) Step(ids []int, states []*GenState) *tensor.Matrix {
+// stepCells advances the recurrent cell for a batch: gather embeddings and
+// states, run the cell, scatter states back. st.h holds the new hidden rows
+// when it returns.
+func (st *Stepper) stepCells(ids []int, states []*GenState) {
 	b := len(ids)
 	if b == 0 || b > st.max {
 		panic(fmt.Sprintf("model: Step batch %d outside [1, %d]", b, st.max))
@@ -146,8 +155,6 @@ func (st *Stepper) Step(ids []int, states []*GenState) *tensor.Matrix {
 
 	viewRows(st.x, b)
 	viewRows(st.h, b)
-	viewRows(st.p, b)
-	viewRows(st.logits, b)
 	viewRows(st.s1, b)
 	viewRows(st.s2, b)
 	if st.isLSTM {
@@ -175,8 +182,50 @@ func (st *Stepper) Step(ids []int, states []*GenState) *tensor.Matrix {
 			copy(gs.c, st.c.Row(i))
 		}
 	}
+}
 
-	m.proj.ForwardInto(st.p, st.h)
-	m.be.MatMulABTStream(st.logits, st.p, m.OutEmb)
+// Step feeds token ids[i] to the sequence whose state is states[i] (state
+// updated in place) and returns the B×V next-token logits; Row(i) belongs
+// to sequence i. The returned matrix is scratch owned by the Stepper — it
+// is overwritten by the next Step, so sample from it (or copy it) first.
+func (st *Stepper) Step(ids []int, states []*GenState) *tensor.Matrix {
+	st.stepCells(ids, states)
+	return st.LogitsFor(st.h)
+}
+
+// StepCells advances the recurrent cell only — no projection, no logits —
+// writing the new hidden rows into hOut at rows rowBase..rowBase+len(ids)-1
+// (states still updated in place). Speculative decoding uses it to run the
+// cheap serial cell steps token by token while deferring the expensive V×D
+// logits product, which LogitsFor then computes for every verified position
+// in one batched call.
+func (st *Stepper) StepCells(ids []int, states []*GenState, hOut *tensor.Matrix, rowBase int) {
+	if hOut.Cols != st.m.Cfg.Hidden || rowBase < 0 || rowBase+len(ids) > hOut.Rows {
+		panic("model: StepCells output rows out of range")
+	}
+	st.stepCells(ids, states)
+	for i := range ids {
+		copy(hOut.Row(rowBase+i), st.h.Row(i))
+	}
+}
+
+// LogitsFor computes projection + output-embedding logits for R ≤ MaxBatch
+// rows of hidden state, returning the R×V logits (Stepper-owned scratch,
+// overwritten by the next call). Each row is computed independently with the
+// batch-1 operation order, so Row(i) is bit-identical to the logits a
+// single-sequence Step would produce from the same hidden state — the
+// property that lets speculative decoding verify k positions in one call.
+func (st *Stepper) LogitsFor(h *tensor.Matrix) *tensor.Matrix {
+	if h.Rows == 0 || h.Rows > st.max {
+		panic(fmt.Sprintf("model: LogitsFor batch %d outside [1, %d]", h.Rows, st.max))
+	}
+	if h.Cols != st.m.Cfg.Hidden {
+		panic("model: LogitsFor hidden width does not match this model")
+	}
+	m := st.m
+	viewRows(st.p, h.Rows)
+	viewRows(st.logits, h.Rows)
+	m.proj.ForwardInto(st.p, h)
+	qmul(m.be, st.logits, st.p, m.OutEmb, m.qOutEmb)
 	return st.logits
 }

@@ -15,6 +15,9 @@ type Linear struct {
 	// W is Out×In (one row per output unit); B is the bias.
 	W *tensor.Matrix
 	B []float32
+	// qw is the int8 shadow of W (see quantize.go); non-nil routes
+	// ForwardInto through the quantized kernels.
+	qw *tensor.QMatrix
 
 	gw *tensor.Matrix
 	gb []float32
@@ -54,9 +57,10 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // ForwardInto computes y = x Wᵀ + b into a caller-owned matrix without
 // caching x — the inference path, which must neither allocate nor disturb a
-// training step's backward state. Values are bit-identical to Forward's.
+// training step's backward state. On an FP32 layer values are bit-identical
+// to Forward's; a quantized layer runs the int8 kernels instead.
 func (l *Linear) ForwardInto(y, x *tensor.Matrix) {
-	l.be.MatMulABTStream(y, x, l.W)
+	qmul(l.be, y, x, l.W, l.qw)
 	for r := 0; r < y.Rows; r++ {
 		tensor.AddInPlace(y.Row(r), l.B)
 	}

@@ -53,6 +53,9 @@ type recurrent interface {
 	Forward(xs []*tensor.Matrix) []*tensor.Matrix
 	Backward(dhs []*tensor.Matrix) []*tensor.Matrix
 	setBackend(tensor.Backend)
+	// quantizeWeights builds int8 shadows for the inference step path
+	// (see quantize.go).
+	quantizeWeights(chunk int)
 	// Stateful-training hooks (see state.go).
 	SetCarry(bool)
 	ResetState()
@@ -71,6 +74,9 @@ type LM struct {
 	proj          *Linear
 	drop          *dropout
 	be            tensor.Backend
+	// qOutEmb is the int8 shadow of OutEmb for the quantized inference
+	// path (see quantize.go); nil on an FP32 replica.
+	qOutEmb *tensor.QMatrix
 
 	// caches from ForwardBackward
 	flatIDs []int

@@ -21,6 +21,10 @@ type LSTM struct {
 	Wx, Wh *tensor.Matrix
 	B      []float32
 
+	// qwx, qwh are the int8 shadows of Wx/Wh (see quantize.go); non-nil
+	// routes stepInfer through the quantized kernels.
+	qwx, qwh *tensor.QMatrix
+
 	gwx, gwh *tensor.Matrix
 	gb       []float32
 
@@ -207,8 +211,8 @@ func (l *LSTM) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 func (l *LSTM) stepInfer(x, h, c, zx, zh *tensor.Matrix) {
 	batch := x.Rows
 	hd := l.Hidden
-	l.be.MatMulABTStream(zx, x, l.Wx)
-	l.be.MatMulABTStream(zh, h, l.Wh)
+	qmul(l.be, zx, x, l.Wx, l.qwx)
+	qmul(l.be, zh, h, l.Wh, l.qwh)
 	for b := 0; b < batch; b++ {
 		zxr, zhr := zx.Row(b), zh.Row(b)
 		hr, cr := h.Row(b), c.Row(b)

@@ -1,0 +1,84 @@
+package model
+
+import "zipflm/internal/tensor"
+
+// Quantized serving replicas. A trained checkpoint's weights are converted
+// once — deterministically, round-to-nearest, per-chunk scales (the same
+// scheme compress.Quant8 ships gradients with) — and the inference step path
+// (Stepper, Generate, the serve batcher) switches to the int8 kernels.
+// Single-token RNN decode is memory-bandwidth bound, so 4× smaller weight
+// reads are a direct tok/s multiplier; §IV-B's Zipf argument for the wire
+// applies unchanged to the serving memory bus.
+//
+// Quantization shadows the FP32 weights rather than replacing them: training
+// and evaluation paths (Forward/Backward/EvalLoss) keep full precision, and
+// only the inference kernels consult the shadows. The input embedding stays
+// FP32 — it is gathered, never multiplied, so quantizing it would cost
+// accuracy and buy no bandwidth on the matmul path.
+
+// qmul computes dst = x·Wᵀ on the quantized kernels when qw is non-nil and
+// the FP32 stream kernel otherwise. Batch-1 inputs route through MatVecQ8;
+// the two q8 kernels are bit-identical per row (the tensor package's
+// TestQ8KernelBitIdentity contract), so the routing never changes results.
+func qmul(be tensor.Backend, dst, x *tensor.Matrix, w *tensor.Matrix, qw *tensor.QMatrix) {
+	switch {
+	case qw == nil:
+		be.MatMulABTStream(dst, x, w)
+	case x.Rows == 1:
+		be.MatVecQ8(dst.Row(0), qw, x.Row(0))
+	default:
+		be.MatMulABTStreamQ8(dst, x, qw)
+	}
+}
+
+// quantizeWeights builds the Linear layer's int8 shadow.
+func (l *Linear) quantizeWeights(chunk int) {
+	l.qw = tensor.QuantizeMatrix(l.W, chunk)
+}
+
+// quantizeWeights builds the LSTM's int8 shadows (input and recurrent
+// projections; biases stay FP32 — they are O(H), not worth a scale block).
+func (l *LSTM) quantizeWeights(chunk int) {
+	l.qwx = tensor.QuantizeMatrix(l.Wx, chunk)
+	l.qwh = tensor.QuantizeMatrix(l.Wh, chunk)
+}
+
+// quantizeWeights builds the RHN's int8 shadows (input projections plus
+// every micro-layer's recurrent pair).
+func (l *RHN) quantizeWeights(chunk int) {
+	l.qwh = tensor.QuantizeMatrix(l.Wh, chunk)
+	l.qwt = tensor.QuantizeMatrix(l.Wt, chunk)
+	l.qrh = make([]*tensor.QMatrix, l.Depth)
+	l.qrt = make([]*tensor.QMatrix, l.Depth)
+	for d := 0; d < l.Depth; d++ {
+		l.qrh[d] = tensor.QuantizeMatrix(l.Rh[d], chunk)
+		l.qrt[d] = tensor.QuantizeMatrix(l.Rt[d], chunk)
+	}
+}
+
+// QuantizeWeights converts this replica's inference path to int8 weights in
+// place: the RNN, the projection and the output embedding gain quantized
+// shadows that Stepper/Generate use from now on. Quantization is a pure
+// function of the FP32 weights (round-to-nearest, tensor.DefaultQChunk-sized
+// scale blocks), so a given checkpoint always yields the same q8 bytes.
+// Training and evaluation are unaffected.
+func (m *LM) QuantizeWeights() {
+	m.qOutEmb = tensor.QuantizeMatrix(m.OutEmb, 0)
+	m.proj.quantizeWeights(0)
+	m.rnn.quantizeWeights(0)
+}
+
+// IsQuantized reports whether this replica's inference path runs on int8
+// weights.
+func (m *LM) IsQuantized() bool { return m.qOutEmb != nil }
+
+// Quantize returns a new serving replica with this model's weights and a
+// quantized inference path. The receiver is untouched, so a process can keep
+// the FP32 model for evaluation while serving from the q8 copy.
+func (m *LM) Quantize() *LM {
+	q := NewLM(m.Cfg)
+	q.CopyWeightsFrom(m)
+	q.SetBackend(m.be)
+	q.QuantizeWeights()
+	return q
+}

@@ -32,6 +32,12 @@ type RHN struct {
 	// the carry gate initially dominates (standard highway init).
 	Bh, Bt [][]float32
 
+	// qwh/qwt/qrh/qrt are the int8 shadows of the corresponding weights
+	// (see quantize.go); non-nil routes stepInfer through the quantized
+	// kernels.
+	qwh, qwt *tensor.QMatrix
+	qrh, qrt []*tensor.QMatrix
+
 	gwh, gwt *tensor.Matrix
 	grh, grt []*tensor.Matrix
 	gbh, gbt [][]float32
@@ -249,11 +255,15 @@ func (l *RHN) Backward(dhs []*tensor.Matrix) []*tensor.Matrix {
 func (l *RHN) stepInfer(x, s, zxh, zxt, zrh, zrt *tensor.Matrix) {
 	batch := x.Rows
 	h := l.Hidden
-	l.be.MatMulABTStream(zxh, x, l.Wh)
-	l.be.MatMulABTStream(zxt, x, l.Wt)
+	qmul(l.be, zxh, x, l.Wh, l.qwh)
+	qmul(l.be, zxt, x, l.Wt, l.qwt)
 	for d := 0; d < l.Depth; d++ {
-		l.be.MatMulABTStream(zrh, s, l.Rh[d])
-		l.be.MatMulABTStream(zrt, s, l.Rt[d])
+		var qrh, qrt *tensor.QMatrix
+		if l.qrh != nil {
+			qrh, qrt = l.qrh[d], l.qrt[d]
+		}
+		qmul(l.be, zrh, s, l.Rh[d], qrh)
+		qmul(l.be, zrt, s, l.Rt[d], qrt)
 		for b := 0; b < batch; b++ {
 			var xh, xt []float32
 			if d == 0 {

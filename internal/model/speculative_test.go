@@ -1,0 +1,128 @@
+package model
+
+import (
+	"testing"
+
+	"zipflm/internal/rng"
+	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
+)
+
+func draftConfigFor(cfg Config) Config {
+	return Config{Vocab: cfg.Vocab, Dim: 8, Hidden: 12, RNN: KindRHN, RHNDepth: 2, Seed: 77}
+}
+
+// TestSpeculativeBitIdentical is the speculative-decoding contract:
+// draft-assisted generation reproduces sequential GenerateOpts bitwise — for
+// LSTM and RHN targets, FP32 and quantized, greedy/top-k/top-p decoding,
+// serial and parallel backends, across seeds and prompt lengths. The draft
+// is a cold (untrained, differently-seeded) model, so plenty of rejections
+// and rollbacks are exercised, not just the happy path.
+func TestSpeculativeBitIdentical(t *testing.T) {
+	optsList := map[string]sampling.DecodeOpts{
+		"greedy": {},
+		"topk":   {Temperature: 0.8, TopK: 8},
+		"topp":   {Temperature: 0.9, TopP: 0.9},
+	}
+	for name, cfg := range testConfigs() {
+		for _, quantized := range []bool{false, true} {
+			src := NewLM(cfg)
+			for optName, opts := range optsList {
+				for _, workers := range []int{1, 4} {
+					be := tensor.New(workers)
+					target := src
+					if quantized {
+						target = src.Quantize()
+					}
+					target.SetBackend(be)
+					draft := NewLM(draftConfigFor(cfg))
+					draft.SetBackend(be)
+					sd := NewSpecDecoder(target, draft, 3)
+
+					pr := rng.New(31)
+					for seed := uint64(1); seed <= 3; seed++ {
+						prompt := randomPrompt(pr, cfg.Vocab, 1+int(seed)*2)
+						n := 15
+						want := target.GenerateOpts(prompt, n, opts, rng.New(seed))
+						got := sd.Generate(prompt, n, opts, rng.New(seed))
+						if len(got) != len(want) {
+							t.Fatalf("%s q=%v %s workers=%d seed=%d: got %d tokens, want %d",
+								name, quantized, optName, workers, seed, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("%s q=%v %s workers=%d seed=%d token %d: speculative %d != sequential %d",
+									name, quantized, optName, workers, seed, i, got[i], want[i])
+							}
+						}
+					}
+					st := sd.Stats()
+					if st.Accepted > st.Proposed || st.Accepted < 0 {
+						t.Fatalf("%s: inconsistent stats %+v", name, st)
+					}
+					if st.Rounds == 0 || st.DraftSteps == 0 {
+						t.Fatalf("%s: speculative path did not run: %+v", name, st)
+					}
+					target.SetBackend(nil)
+					if p, ok := be.(*tensor.Parallel); ok {
+						p.Close()
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeFullAcceptance: with the draft sharing the target's weights
+// and greedy decoding, every proposal matches the target's own argmax, so
+// acceptance is total and each round emits k+1 tokens.
+func TestSpeculativeFullAcceptance(t *testing.T) {
+	cfg := testConfigs()["lstm"]
+	m := NewLM(cfg)
+	d := NewLM(cfg)
+	d.CopyWeightsFrom(m)
+	const k, n = 3, 16
+	sd := NewSpecDecoder(m, d, k)
+	prompt := randomPrompt(rng.New(5), cfg.Vocab, 4)
+
+	want := m.GenerateOpts(prompt, n, sampling.DecodeOpts{}, rng.New(9))
+	got := sd.Generate(prompt, n, sampling.DecodeOpts{}, rng.New(9))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	st := sd.Stats()
+	if st.Accepted != st.Proposed {
+		t.Fatalf("identical draft rejected: %+v", st)
+	}
+	if st.AcceptanceRate() != 1 {
+		t.Fatalf("acceptance rate %v, want 1", st.AcceptanceRate())
+	}
+	// n=16, k+1=4 per round: exactly ceil(16/4) = 4 rounds.
+	if st.Rounds != (n+k)/(k+1) {
+		t.Fatalf("%d rounds for %d tokens at k=%d, want %d", st.Rounds, n, k, (n+k)/(k+1))
+	}
+}
+
+// TestSpecDecoderValidation: mismatched vocabularies and degenerate k are
+// construction-time errors.
+func TestSpecDecoderValidation(t *testing.T) {
+	cfg := testConfigs()["lstm"]
+	m := NewLM(cfg)
+	bad := cfg
+	bad.Vocab++
+	for name, fn := range map[string]func(){
+		"vocab mismatch": func() { NewSpecDecoder(m, NewLM(bad), 2) },
+		"k zero":         func() { NewSpecDecoder(m, NewLM(cfg), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

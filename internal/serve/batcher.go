@@ -8,6 +8,7 @@ import (
 	"zipflm/internal/model"
 	"zipflm/internal/rng"
 	"zipflm/internal/sampling"
+	"zipflm/internal/tensor"
 )
 
 // seq is one request in flight on a worker: its explicit recurrent state,
@@ -18,9 +19,13 @@ import (
 type seq struct {
 	t     *task
 	state *model.GenState
-	r     *rng.RNG
-	fed   int   // tokens fed so far (prompt first, then own output)
-	out   []int // generated tokens
+	// dstate is the draft model's state for this sequence (speculative
+	// servers only), kept in lockstep with state: both have always consumed
+	// exactly the same tokens.
+	dstate *model.GenState
+	r      *rng.RNG
+	fed    int   // tokens fed so far (prompt first, then own output)
+	out    []int // generated tokens
 }
 
 // nextInput returns the token this sequence feeds on the next step.
@@ -32,9 +37,12 @@ func (q *seq) nextInput() int {
 }
 
 // pendingModel is a reload in flight: the worker installs it at the next
-// step boundary where it holds no in-flight sequences.
+// step boundary where it holds no in-flight sequences. On a speculative
+// server it carries the draft replica too, so target and draft always swap
+// as a pair.
 type pendingModel struct {
 	m       *model.LM
+	draft   *model.LM // nil unless speculative decoding is configured
 	version uint64
 }
 
@@ -59,19 +67,71 @@ type worker struct {
 	active  []*seq
 	ids     []int
 	states  []*model.GenState
+
+	// Speculative decoding machinery (nil/empty without Config.Draft).
+	// Layout per verify round: sequence i claims rows bases[i] ..
+	// bases[i]+jBuf[i]-1 of hStack, row bases[i]+t holding the target
+	// hidden state after feeds[i][0..t]; one batched LogitsFor over all
+	// those rows replaces up to MaxBatch·(DraftK+1) sequential logits
+	// products. tSnaps[i][t]/dSnaps[i][t] snapshot both models after
+	// feeds[i][0..t] so a rejected proposal rolls back without re-running
+	// anything.
+	draft        *model.LM
+	draftStepper *model.Stepper
+	hStack       *tensor.Matrix
+	dh           *tensor.Matrix // draft StepCells sink (hidden rows unused)
+	dstates      []*model.GenState
+	tSnaps       [][]*model.GenState
+	dSnaps       [][]*model.GenState
+	feeds        [][]int
+	jBuf, bases  []int
+	rowsBuf      []int
+	oneID        []int
+	oneState     []*model.GenState
 }
 
-func newWorker(s *Server, m *model.LM) *worker {
-	return &worker{
+func newWorker(s *Server, m, draft *model.LM) *worker {
+	stMax := s.cfg.MaxBatch
+	if draft != nil {
+		// The verify pass batches every sequence's whole lookahead window
+		// into one logits product.
+		stMax = s.cfg.MaxBatch * (s.cfg.DraftK + 1)
+	}
+	w := &worker{
 		s:       s,
 		m:       m,
 		arch:    m.Cfg,
 		version: 1,
-		stepper: m.NewStepper(s.cfg.MaxBatch),
+		stepper: m.NewStepper(stMax),
 		dec:     sampling.NewDecoder(m.Cfg.Vocab),
 		ids:     make([]int, s.cfg.MaxBatch),
 		states:  make([]*model.GenState, s.cfg.MaxBatch),
 	}
+	if draft != nil {
+		k := s.cfg.DraftK
+		w.draft = draft
+		w.draftStepper = draft.NewStepper(s.cfg.MaxBatch)
+		w.hStack = tensor.NewMatrix(stMax, m.Cfg.Hidden)
+		w.dh = tensor.NewMatrix(s.cfg.MaxBatch, draft.Cfg.Hidden)
+		w.dstates = make([]*model.GenState, s.cfg.MaxBatch)
+		w.jBuf = make([]int, s.cfg.MaxBatch)
+		w.bases = make([]int, s.cfg.MaxBatch)
+		w.rowsBuf = make([]int, s.cfg.MaxBatch)
+		w.oneID = make([]int, 1)
+		w.oneState = make([]*model.GenState, 1)
+		for i := 0; i < s.cfg.MaxBatch; i++ {
+			ts := make([]*model.GenState, k+1)
+			ds := make([]*model.GenState, k+1)
+			for t := range ts {
+				ts[t] = m.NewGenState()
+				ds[t] = draft.NewGenState()
+			}
+			w.tSnaps = append(w.tSnaps, ts)
+			w.dSnaps = append(w.dSnaps, ds)
+			w.feeds = append(w.feeds, make([]int, k+1))
+		}
+	}
+	return w
 }
 
 // maybeSwap installs a pending reload. Callers guarantee the batch is
@@ -81,8 +141,18 @@ func (w *worker) maybeSwap() {
 	if p == nil {
 		return
 	}
+	stMax := w.s.cfg.MaxBatch
+	if p.draft != nil {
+		stMax = w.s.cfg.MaxBatch * (w.s.cfg.DraftK + 1)
+	}
 	w.m = p.m
-	w.stepper = p.m.NewStepper(w.s.cfg.MaxBatch)
+	w.stepper = p.m.NewStepper(stMax)
+	if p.draft != nil {
+		// Same architecture (Reload validates), so the snapshot and
+		// scratch pools carry over; only the replicas and steppers swap.
+		w.draft = p.draft
+		w.draftStepper = p.draft.NewStepper(w.s.cfg.MaxBatch)
+	}
 	w.version = p.version
 }
 
@@ -122,9 +192,31 @@ func (w *worker) loop() {
 			}
 		}
 		if len(w.active) > 0 {
-			w.step()
+			if w.specReady() {
+				w.stepSpec()
+			} else {
+				w.step()
+			}
 		}
 	}
+}
+
+// specReady reports whether a speculative round can run: every active
+// sequence must be past prefill with at least one emitted token (the round
+// invariant "both models have consumed prompt plus all output but the last
+// token" holds exactly then). Mixed batches — some sequences still
+// prefilling — run normal steps, which keep target and draft in lockstep,
+// until everyone is ready.
+func (w *worker) specReady() bool {
+	if w.draft == nil {
+		return false
+	}
+	for _, q := range w.active {
+		if len(q.out) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // fill admits queued tasks into free slots without waiting.
@@ -225,8 +317,24 @@ func (w *worker) admit(t *task) {
 			t.done <- taskDone{tokens: q.out, version: w.version}
 			return
 		}
+		if w.draft != nil {
+			// The prefix cache stores only the target state; replay the
+			// prompt through the small draft so the lockstep invariant
+			// holds from the first step. Still far cheaper than target
+			// prefill, which the hit just skipped.
+			q.dstate = w.draft.NewGenState()
+			w.oneState[0] = q.dstate
+			for _, tok := range req.Prompt {
+				w.oneID[0] = tok
+				w.draftStepper.StepCells(w.oneID, w.oneState, w.dh, 0)
+			}
+			w.s.stats.onDraftSteps(len(req.Prompt))
+		}
 	} else {
 		q.state = w.m.NewGenState()
+		if w.draft != nil {
+			q.dstate = w.draft.NewGenState()
+		}
 	}
 	w.active = append(w.active, q)
 }
@@ -259,6 +367,15 @@ func (w *worker) step() {
 	}
 	lg := w.stepper.Step(w.ids[:b], w.states[:b])
 	w.s.stats.onBatchStep(b)
+	if w.draft != nil {
+		// Advance the draft on the same tokens so both models have always
+		// consumed identical prefixes — the invariant stepSpec starts from.
+		for i := 0; i < b; i++ {
+			w.dstates[i] = w.active[i].dstate
+		}
+		w.draftStepper.StepCells(w.ids[:b], w.dstates[:b], w.dh, 0)
+		w.s.stats.onDraftSteps(b)
+	}
 
 	n := 0
 	for i := 0; i < b; i++ {
@@ -292,6 +409,139 @@ func (w *worker) step() {
 		w.active[i] = nil
 	}
 	w.active = w.active[:n]
+}
+
+// argmaxSpec returns the index of the largest logit, first index winning
+// ties — sampling.Decoder's greedy rule, and RNG-free, so draft proposals
+// never disturb a request's private variate schedule.
+func argmaxSpec(lg []float32) int {
+	bi, bv := 0, lg[0]
+	for i, v := range lg {
+		if v > bv {
+			bi, bv = i, v
+		}
+	}
+	return bi
+}
+
+// stepSpec advances every active sequence up to DraftK+1 tokens in one
+// speculative round: the draft proposes per-sequence lookaheads (batched
+// across sequences), the target runs the cheap serial cell steps per
+// position, and ONE batched logits product verifies every position of every
+// sequence at once. Emission per sequence mirrors sequential Generate
+// exactly — one Decoder.Sample per emitted token from true-prefix logits —
+// and stops at the first draw that contradicts the next proposal, rolling
+// both models back to the snapshot at that point. Output is therefore
+// bit-identical to the normal path at every temperature; only the number of
+// V×D products per token changes.
+func (w *worker) stepSpec() {
+	w.expire(time.Now())
+	b := len(w.active)
+	if b == 0 {
+		return
+	}
+	k := w.s.cfg.DraftK
+
+	// Lookahead windows and verify-row bases.
+	rows, maxJ := 0, 0
+	for i, q := range w.active {
+		j := q.t.req.N - len(q.out)
+		if j > k+1 {
+			j = k + 1
+		}
+		w.jBuf[i] = j
+		w.bases[i] = rows
+		rows += j
+		if j > maxJ {
+			maxJ = j
+		}
+		w.feeds[i][0] = q.nextInput()
+	}
+
+	// Draft phase: propose by argmax, batched across the sequences still
+	// looking ahead, snapshotting the draft after each consumed token.
+	for t := 1; t < maxJ; t++ {
+		n := 0
+		for i, q := range w.active {
+			if w.jBuf[i] > t {
+				w.ids[n] = w.feeds[i][t-1]
+				w.states[n] = q.dstate
+				w.rowsBuf[n] = i
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+		dlg := w.draftStepper.Step(w.ids[:n], w.states[:n])
+		for bi := 0; bi < n; bi++ {
+			i := w.rowsBuf[bi]
+			w.dSnaps[i][t-1].CopyFrom(w.active[i].dstate)
+			w.feeds[i][t] = argmaxSpec(dlg.Row(bi))
+		}
+		w.s.stats.onDraftSteps(n)
+	}
+
+	// Verify phase: serial target cell steps (the recurrence allows no
+	// other order), then the single batched logits product they exist to
+	// amortize.
+	w.hStack.Rows = rows
+	w.hStack.Data = w.hStack.Data[:rows*w.hStack.Cols]
+	for i, q := range w.active {
+		w.oneState[0] = q.state
+		for t := 0; t < w.jBuf[i]; t++ {
+			w.oneID[0] = w.feeds[i][t]
+			w.stepper.StepCells(w.oneID, w.oneState, w.hStack, w.bases[i]+t)
+			w.tSnaps[i][t].CopyFrom(q.state)
+		}
+	}
+	lg := w.stepper.LogitsFor(w.hStack)
+	w.hStack.Rows = w.s.cfg.MaxBatch * (k + 1)
+	w.hStack.Data = w.hStack.Data[:w.hStack.Rows*w.hStack.Cols]
+	w.s.stats.onBatchStep(b)
+
+	// Emission: accept until the target's own draw disagrees.
+	proposed, accepted := 0, 0
+	n := 0
+	for i := 0; i < b; i++ {
+		q := w.active[i]
+		j := w.jBuf[i]
+		mismatch, emitted := -1, 0
+		for t := 0; t < j; t++ {
+			next := w.dec.Sample(lg.Row(w.bases[i]+t), q.t.req.Opts, q.r)
+			q.out = append(q.out, next)
+			emitted++
+			if t+1 < j && next != w.feeds[i][t+1] {
+				mismatch = t
+				break
+			}
+		}
+		proposed += j - 1
+		accepted += emitted - 1
+		if len(q.out) == q.t.req.N {
+			q.t.done <- taskDone{tokens: q.out, version: w.version}
+			continue // retire
+		}
+		if mismatch >= 0 {
+			q.state.CopyFrom(w.tSnaps[i][mismatch])
+			q.dstate.CopyFrom(w.dSnaps[i][mismatch])
+		} else {
+			// Full accept: the draft never consumed the round's final fed
+			// token; advance it so the lockstep invariant holds.
+			w.oneID[0] = w.feeds[i][j-1]
+			w.oneState[0] = q.dstate
+			w.draftStepper.StepCells(w.oneID, w.oneState, w.dh, 0)
+			w.s.stats.onDraftSteps(1)
+		}
+		q.fed = len(q.t.req.Prompt) + len(q.out) - 1
+		w.active[n] = q
+		n++
+	}
+	for i := n; i < b; i++ {
+		w.active[i] = nil
+	}
+	w.active = w.active[:n]
+	w.s.stats.onSpecRound(proposed, accepted)
 }
 
 // expire sheds active sequences whose deadline has passed (partial output

@@ -116,6 +116,25 @@ type Config struct {
 	// wait up to this long for more arrivals to coalesce (0: step
 	// immediately with whatever is queued).
 	BatchWindow time.Duration
+	// Quantized converts every replica's inference path to int8 weights
+	// (model.LM.QuantizeWeights) — single-token decode is memory-bound, so
+	// 4× smaller weight reads raise tok/s. Responses remain deterministic
+	// (bit-identical to sequential Generate on the quantized model) but
+	// differ from FP32 responses by design.
+	Quantized bool
+	// Draft, when non-nil, enables speculative decoding: a small draft
+	// model (same vocabulary; the intended pairing is a small RHN drafting
+	// for the big LSTM) proposes DraftK tokens per round and the serving
+	// model verifies them in one batched logits pass. Responses stay
+	// bit-identical to sequential Generate at every temperature — the
+	// draft changes cost per token, never tokens. The model is cloned at
+	// New; the caller's copy is not retained. Drafts stay FP32 even under
+	// Quantized (they are small; quantizing them would change proposals
+	// for negligible bandwidth).
+	Draft *model.LM
+	// DraftK is the speculative lookahead (default 4, used only with
+	// Draft).
+	DraftK int
 }
 
 // withDefaults fills zero fields.
@@ -134,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPromptLen <= 0 {
 		c.MaxPromptLen = 4096
+	}
+	if c.Draft != nil && c.DraftK <= 0 {
+		c.DraftK = 4
 	}
 	return c
 }
@@ -168,6 +190,9 @@ type Server struct {
 	// (nil: leave replicas on their NewLM default). Reload replicas get it
 	// too, so a reload never silently changes the compute path.
 	backend tensor.Backend
+	// draftSrc is the server's private copy of the speculative draft
+	// weights (nil without Config.Draft); reloadMu guards it after New.
+	draftSrc *model.LM
 	// version is the current weights generation; reloadMu serializes
 	// Reload calls so versions hand out monotonically with their replicas.
 	version  atomic.Uint64
@@ -194,13 +219,15 @@ func New(m *model.LM, cfg Config) *Server {
 	if cfg.ComputeWorkers > 0 {
 		s.backend = tensor.New(cfg.ComputeWorkers)
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		replica := model.NewLM(m.Cfg)
-		if s.backend != nil {
-			replica.SetBackend(s.backend)
+	if cfg.Draft != nil {
+		if cfg.Draft.Cfg.Vocab != m.Cfg.Vocab {
+			panic(fmt.Sprintf("serve: draft vocab %d does not match model vocab %d", cfg.Draft.Cfg.Vocab, m.Cfg.Vocab))
 		}
-		replica.CopyWeightsFrom(m)
-		w := newWorker(s, replica)
+		s.draftSrc = model.NewLM(cfg.Draft.Cfg)
+		s.draftSrc.CopyWeightsFrom(cfg.Draft)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(s, s.buildReplica(m), s.buildDraftReplica())
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
 		go func() {
@@ -209,6 +236,35 @@ func New(m *model.LM, cfg Config) *Server {
 		}()
 	}
 	return s
+}
+
+// buildReplica clones m into a serving replica: shared backend, quantized
+// inference path when configured.
+func (s *Server) buildReplica(m *model.LM) *model.LM {
+	replica := model.NewLM(m.Cfg)
+	if s.backend != nil {
+		replica.SetBackend(s.backend)
+	}
+	replica.CopyWeightsFrom(m)
+	if s.cfg.Quantized {
+		replica.QuantizeWeights()
+	}
+	return replica
+}
+
+// buildDraftReplica clones the current draft weights into a per-worker
+// replica (nil when speculative decoding is off). Callers hold reloadMu or
+// run before the workers start.
+func (s *Server) buildDraftReplica() *model.LM {
+	if s.draftSrc == nil {
+		return nil
+	}
+	d := model.NewLM(s.draftSrc.Cfg)
+	if s.backend != nil {
+		d.SetBackend(s.backend)
+	}
+	d.CopyWeightsFrom(s.draftSrc)
+	return d
 }
 
 // Reload swaps the serving weights with zero downtime: each worker keeps
@@ -222,24 +278,43 @@ func New(m *model.LM, cfg Config) *Server {
 // request.
 //
 // The architecture must match the serving model's (same replica shapes) —
-// a reload is a weights update, not a model swap.
+// a reload is a weights update, not a model swap. On a speculative server
+// the current draft weights are re-cloned alongside the new target so the
+// pair swaps atomically; ReloadWithDraft updates the draft too.
 func (s *Server) Reload(m *model.LM) (uint64, error) {
+	return s.ReloadWithDraft(m, nil)
+}
+
+// ReloadWithDraft is Reload plus a draft-weights update: target and draft
+// install at the same step boundary, so no sequence ever runs a verify round
+// with a mismatched pair. A nil draft keeps the current draft weights. Like
+// the target, the draft must match the architecture the server started with.
+func (s *Server) ReloadWithDraft(m, draft *model.LM) (uint64, error) {
 	cur := s.workers[0].arch // immutable after New
 	got := m.Cfg
 	if got.Vocab != cur.Vocab || got.Dim != cur.Dim || got.Hidden != cur.Hidden ||
 		got.RNN != cur.RNN || got.RHNDepth != cur.RHNDepth {
 		return 0, fmt.Errorf("serve: reload architecture %+v does not match serving %+v", got, cur)
 	}
+	if draft != nil {
+		if s.draftSrc == nil {
+			return 0, errors.New("serve: draft reload on a server without speculative decoding")
+		}
+		dc, dn := s.draftSrc.Cfg, draft.Cfg
+		if dn.Vocab != dc.Vocab || dn.Dim != dc.Dim || dn.Hidden != dc.Hidden ||
+			dn.RNN != dc.RNN || dn.RHNDepth != dc.RHNDepth {
+			return 0, fmt.Errorf("serve: reload draft architecture %+v does not match serving draft %+v", dn, dc)
+		}
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if draft != nil {
+		s.draftSrc = model.NewLM(draft.Cfg)
+		s.draftSrc.CopyWeightsFrom(draft)
+	}
 	v := s.version.Add(1)
 	for _, w := range s.workers {
-		replica := model.NewLM(m.Cfg)
-		if s.backend != nil {
-			replica.SetBackend(s.backend)
-		}
-		replica.CopyWeightsFrom(m)
-		w.pending.Store(&pendingModel{m: replica, version: v})
+		w.pending.Store(&pendingModel{m: s.buildReplica(m), draft: s.buildDraftReplica(), version: v})
 	}
 	// Drop the old weights' cached work eagerly; the per-entry version
 	// tags are what guarantee correctness for anything that races in.
@@ -346,6 +421,10 @@ func (s *Server) Stats() Snapshot {
 	snap.PrefixHits, snap.PrefixMisses, snap.PrefixEvicted, snap.PrefixEntries = s.prefix.counters()
 	snap.WeightsVersion = s.version.Load()
 	snap.Reloads = s.reloads.Load()
+	snap.Quantized = s.cfg.Quantized
+	if s.draftSrc != nil {
+		snap.DraftK = s.cfg.DraftK
+	}
 	return snap
 }
 

@@ -28,9 +28,14 @@ type statsCollector struct {
 	batches         []uint64 // batches[b] = steps executed at batch size b
 	batchSum        uint64   // Σ b·batches[b] (sequence-steps)
 	stepCount       uint64
-	lat             [latRingSize]time.Duration
-	latCount        uint64 // total recorded (ring wraps)
-	latSum          time.Duration
+	// Speculative-decoding counters (zero on non-speculative servers).
+	specRounds    uint64
+	draftProposed uint64
+	draftAccepted uint64
+	draftSteps    uint64
+	lat           [latRingSize]time.Duration
+	latCount      uint64 // total recorded (ring wraps)
+	latSum        time.Duration
 }
 
 func newStatsCollector(maxBatch int) *statsCollector {
@@ -72,6 +77,25 @@ func (s *statsCollector) onComplete(tokens int, latency time.Duration) {
 	s.lat[s.latCount%latRingSize] = latency
 	s.latCount++
 	s.latSum += latency
+	s.mu.Unlock()
+}
+
+// onSpecRound records one speculative verify round: how many draft
+// proposals were offered and how many the target accepted.
+func (s *statsCollector) onSpecRound(proposed, accepted int) {
+	s.mu.Lock()
+	s.specRounds++
+	s.draftProposed += uint64(proposed)
+	s.draftAccepted += uint64(accepted)
+	s.mu.Unlock()
+}
+
+// onDraftSteps records n draft model forward steps (proposals, lockstep
+// tracking, and prefix replays all count — the full overhead the draft
+// adds).
+func (s *statsCollector) onDraftSteps(n int) {
+	s.mu.Lock()
+	s.draftSteps += uint64(n)
 	s.mu.Unlock()
 }
 
@@ -119,6 +143,28 @@ type Snapshot struct {
 	// Reload increments it); Reloads counts completed Reload calls.
 	WeightsVersion uint64
 	Reloads        int64
+	// Quantized reports whether replicas serve on int8 weights; DraftK is
+	// the speculative lookahead (0 when speculative decoding is off).
+	Quantized bool
+	DraftK    int
+	// SpecRounds counts speculative verify rounds; DraftProposed/
+	// DraftAccepted are the proposals offered and accepted across them
+	// (their ratio is the acceptance rate the Zipf skew is supposed to
+	// buy); DraftSteps is every draft model forward step, the overhead
+	// side of the trade.
+	SpecRounds    uint64
+	DraftProposed uint64
+	DraftAccepted uint64
+	DraftSteps    uint64
+}
+
+// SpecAcceptanceRate returns DraftAccepted/DraftProposed, 0 before any
+// proposal.
+func (s Snapshot) SpecAcceptanceRate() float64 {
+	if s.DraftProposed == 0 {
+		return 0
+	}
+	return float64(s.DraftAccepted) / float64(s.DraftProposed)
 }
 
 // HitRate returns result-cache hits / lookups, 0 when no lookups happened.
@@ -145,6 +191,10 @@ func (s *statsCollector) snapshot() Snapshot {
 		DiscardedTokens: s.discardedTokens,
 		Tokens:          s.tokens,
 		BatchDist:       append([]uint64(nil), s.batches...),
+		SpecRounds:      s.specRounds,
+		DraftProposed:   s.draftProposed,
+		DraftAccepted:   s.draftAccepted,
+		DraftSteps:      s.draftSteps,
 	}
 	if s.stepCount > 0 {
 		out.MeanBatch = float64(s.batchSum) / float64(s.stepCount)

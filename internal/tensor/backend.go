@@ -26,6 +26,11 @@ type Backend interface {
 	MatMulABT(dst, a, b *Matrix)
 	// MatMulABTStream computes dst = a @ bᵀ with two-row blocking.
 	MatMulABTStream(dst, a, b *Matrix)
+	// MatMulABTStreamQ8 computes dst = a @ dequant(b)ᵀ against int8 weights
+	// (the quantized serving hot path; see the package function).
+	MatMulABTStreamQ8(dst, a *Matrix, b *QMatrix)
+	// MatVecQ8 computes dst = dequant(q) @ x (single-sequence decode).
+	MatVecQ8(dst []float32, q *QMatrix, x []float32)
 	// Workers reports the tiling width (1 for the serial reference).
 	Workers() int
 }
@@ -48,6 +53,12 @@ func (Serial) MatMulABT(dst, a, b *Matrix) { MatMulABT(dst, a, b) }
 
 // MatMulABTStream implements Backend.
 func (Serial) MatMulABTStream(dst, a, b *Matrix) { MatMulABTStream(dst, a, b) }
+
+// MatMulABTStreamQ8 implements Backend.
+func (Serial) MatMulABTStreamQ8(dst, a *Matrix, b *QMatrix) { MatMulABTStreamQ8(dst, a, b) }
+
+// MatVecQ8 implements Backend.
+func (Serial) MatVecQ8(dst []float32, q *QMatrix, x []float32) { MatVecQ8(dst, q, x) }
 
 // Workers implements Backend.
 func (Serial) Workers() int { return 1 }
@@ -126,6 +137,8 @@ const (
 	kkATBAcc
 	kkABT
 	kkABTStream
+	kkABTStreamQ8
+	kkMatVecQ8
 )
 
 // parallelJob is the state shared with the helper goroutines. The helpers
@@ -145,6 +158,8 @@ type parallelJob struct {
 
 	kind      kernelKind
 	dst, a, b *Matrix
+	qb        *QMatrix  // quantized operand (kkABTStreamQ8, kkMatVecQ8)
+	yv, xv    []float32 // vector operands (kkMatVecQ8)
 	byCols    bool
 	units     int // rows or columns being tiled
 	tiles     int
@@ -220,7 +235,7 @@ func (j *parallelJob) claim() {
 // pairing (values would be identical anyway; see matMulABTStreamRows).
 func (j *parallelJob) bound(t int) int {
 	v := t * j.units / j.tiles
-	if j.kind == kkABTStream && !j.byCols && t > 0 && t < j.tiles {
+	if (j.kind == kkABTStream || j.kind == kkABTStreamQ8) && !j.byCols && t > 0 && t < j.tiles {
 		v &^= 1
 	}
 	return v
@@ -256,6 +271,14 @@ func (j *parallelJob) runTile(t int) {
 		} else {
 			matMulABTStreamRows(j.dst, j.a, j.b, lo, hi)
 		}
+	case kkABTStreamQ8:
+		if j.byCols {
+			matMulABTStreamQ8Cols(j.dst, j.a, j.qb, lo, hi)
+		} else {
+			matMulABTStreamQ8Rows(j.dst, j.a, j.qb, lo, hi)
+		}
+	case kkMatVecQ8:
+		matVecQ8Range(j.yv, j.qb, j.xv, lo, hi)
 	}
 }
 
@@ -286,6 +309,34 @@ func (p *Parallel) dispatch(kind kernelKind, dst, a, b *Matrix, rows, cols int) 
 	// Helpers are parked again; drop matrix references so a long-lived
 	// backend does not pin its last operands.
 	j.dst, j.a, j.b = nil, nil, nil
+	p.mu.Unlock()
+}
+
+// dispatchQ8 mirrors dispatch for the quantized kernels, carrying the
+// QMatrix operand (and, for MatVecQ8, the vector operands) in dedicated job
+// fields. Same lifecycle discipline, same zero-allocation guarantee.
+func (p *Parallel) dispatchQ8(kind kernelKind, dst, a *Matrix, qb *QMatrix, yv, xv []float32, rows, cols int) {
+	j := p.job
+	p.mu.Lock()
+	j.kind, j.dst, j.a, j.b = kind, dst, a, nil
+	j.qb, j.yv, j.xv = qb, yv, xv
+	j.byCols, j.units = false, rows
+	if cols > rows {
+		j.byCols, j.units = true, cols
+	}
+	j.tiles = p.workers
+	if j.tiles > j.units {
+		j.tiles = j.units
+	}
+	j.next.Store(0)
+	for i := 0; i < p.workers-1; i++ {
+		j.wake <- struct{}{}
+	}
+	j.claim()
+	for i := 0; i < p.workers-1; i++ {
+		<-j.ack
+	}
+	j.dst, j.a, j.qb, j.yv, j.xv = nil, nil, nil, nil, nil
 	p.mu.Unlock()
 }
 
@@ -342,4 +393,31 @@ func (p *Parallel) MatMulABTStream(dst, a, b *Matrix) {
 		return
 	}
 	p.dispatch(kkABTStream, dst, a, b, a.Rows, b.Rows)
+}
+
+// MatMulABTStreamQ8 implements Backend. The cutoff judges the same
+// fused-multiply-add count as the FP32 kernels — the int8 path does the same
+// arithmetic, just against narrower loads.
+func (p *Parallel) MatMulABTStreamQ8(dst, a *Matrix, b *QMatrix) {
+	checkMatMulABTQ8(dst, a, b)
+	if p.serialCutoff(a.Rows, a.Cols, b.Rows) {
+		matMulABTStreamQ8Rows(dst, a, b, 0, a.Rows)
+		return
+	}
+	p.dispatchQ8(kkABTStreamQ8, dst, a, b, nil, nil, a.Rows, b.Rows)
+}
+
+// MatVecQ8 implements Backend, tiling the output elements (q's rows). Each
+// element is an independent qdot, so the partition is trivially bit-identical
+// to the serial pass.
+func (p *Parallel) MatVecQ8(dst []float32, q *QMatrix, x []float32) {
+	if len(x) != q.Cols || len(dst) != q.Rows {
+		MatVecQ8(dst, q, x) // delegate the panic message
+		return
+	}
+	if p.serialCutoff(1, q.Cols, q.Rows) {
+		matVecQ8Range(dst, q, x, 0, q.Rows)
+		return
+	}
+	p.dispatchQ8(kkMatVecQ8, nil, nil, q, dst, x, q.Rows, 0)
 }

@@ -1,0 +1,41 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchQPair pits the FP32 stream kernel against the int8 dequant-in-register
+// kernel on the decode shape that dominates serving cost: one activation row
+// against a tall weight matrix (the output embedding). SetBytes records the
+// weight bytes actually streamed (4 per element vs 1), so the B/s column shows
+// whether the q8 kernel converts its 4x traffic reduction into time.
+func benchQPair(b *testing.B, rows, cols int) {
+	w := NewMatrix(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = float32(i%13) - 6
+	}
+	q := QuantizeMatrix(w, 0)
+	x := NewMatrix(1, cols)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) * 0.25
+	}
+	dst := NewMatrix(1, rows)
+	b.Run(fmt.Sprintf("fp32_%dx%d", rows, cols), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulABTStream(dst, x, w)
+		}
+		b.SetBytes(int64(rows * cols * 4))
+	})
+	b.Run(fmt.Sprintf("q8_%dx%d", rows, cols), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatVecQ8(dst.Data, q, x.Data)
+		}
+		b.SetBytes(int64(rows * cols))
+	})
+}
+
+func BenchmarkQMatVec(b *testing.B) {
+	benchQPair(b, 8000, 128)
+	benchQPair(b, 32000, 256)
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// useQdotAsm: no assembly kernel on this architecture; qdot always runs the
+// portable qdotGo, which defines the canonical accumulation order.
+const useQdotAsm = false
+
+func qdotSSE41(a *float32, codes *int8, scales *float32, n, chunk int) float32 {
+	panic("tensor: qdotSSE41 unavailable on this architecture")
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"zipflm/internal/rng"
+)
+
+// TestQuantizeErrorBound is the quantized-storage property: round-to-nearest
+// onto the per-chunk grid puts every dequantized element within half its
+// chunk's scale of the original (a hair of slack covers float32 rounding of
+// the scale and the product).
+func TestQuantizeErrorBound(t *testing.T) {
+	r := rng.New(41)
+	for _, shape := range [][2]int{{1, 5}, {3, 64}, {7, 65}, {19, 200}, {33, 1}} {
+		for _, chunk := range []int{1, 3, 64, DefaultQChunk} {
+			m := randMatrix(r, shape[0], shape[1])
+			q := QuantizeMatrix(m, chunk)
+			deq := q.Dequantize()
+			for row := 0; row < m.Rows; row++ {
+				scales := q.RowScales(row)
+				for c := 0; c < m.Cols; c++ {
+					scale := float64(scales[c/chunk])
+					err := math.Abs(float64(deq.At(row, c)) - float64(m.At(row, c)))
+					if bound := scale/2*(1+1e-5) + 1e-30; err > bound {
+						t.Fatalf("%dx%d chunk %d: |deq-orig| = %g at (%d,%d) exceeds scale/2 = %g",
+							shape[0], shape[1], chunk, err, row, c, scale/2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeDeterministic: quantization is a pure function of the weights —
+// two quantizations of equal matrices produce identical codes and scales.
+func TestQuantizeDeterministic(t *testing.T) {
+	r := rng.New(43)
+	m := randMatrix(r, 17, 130)
+	q1 := QuantizeMatrix(m, 0)
+	q2 := QuantizeMatrix(m.Clone(), 0)
+	if q1.Chunk != DefaultQChunk {
+		t.Fatalf("default chunk = %d, want %d", q1.Chunk, DefaultQChunk)
+	}
+	for i := range q1.Data {
+		if q1.Data[i] != q2.Data[i] {
+			t.Fatalf("code %d differs across quantizations: %d vs %d", i, q1.Data[i], q2.Data[i])
+		}
+	}
+	for i := range q1.Scales {
+		if math.Float32bits(q1.Scales[i]) != math.Float32bits(q2.Scales[i]) {
+			t.Fatalf("scale %d differs across quantizations", i)
+		}
+	}
+}
+
+// TestQuantizeSanitizes: ±Inf saturates to the finite grid extreme and NaN
+// drops to zero, mirroring compress.Quant8's wire sanitation.
+func TestQuantizeSanitizes(t *testing.T) {
+	m := NewMatrixFrom(1, 4, []float32{float32(math.Inf(1)), float32(math.NaN()), -2, float32(math.Inf(-1))})
+	q := QuantizeMatrix(m, 4)
+	if q.Row(0)[0] != 127 || q.Row(0)[1] != 0 || q.Row(0)[3] != -127 {
+		t.Fatalf("sanitized codes = %v, want [127 0 * -127]", q.Row(0))
+	}
+	deq := q.Dequantize()
+	for i, v := range deq.Row(0) {
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("dequantized element %d is NaN", i)
+		}
+	}
+}
+
+// TestQ8KernelBitIdentity is the quantized half of the backend contract:
+// MatMulABTStreamQ8 and MatVecQ8 produce the serial reference's exact bits at
+// every worker count and shape (including the batch-1 column-tiled decode
+// shape and extents that straddle chunk boundaries), and MatVecQ8 agrees
+// bitwise with a one-row MatMulABTStreamQ8.
+func TestQ8KernelBitIdentity(t *testing.T) {
+	r := rng.New(47)
+	shapes := [][3]int{ // (batch rows, inner, quantized rows)
+		{1, 7, 5},
+		{2, 64, 33},
+		{3, 65, 29},
+		{1, 64, 512},
+		{5, 130, 47},
+		{8, 96, 600},
+	}
+	for _, shape := range shapes {
+		m, k, n := shape[0], shape[1], shape[2]
+		a := randMatrix(r, m, k)
+		b := QuantizeMatrix(randMatrix(r, n, k), 0)
+
+		want := NewMatrix(m, n)
+		MatMulABTStreamQ8(want, a, b)
+
+		// Serial reference agrees with explicit dequantize + FP32 stream up
+		// to nothing at all when the chunk scaling orders match — but the
+		// orders differ by construction (per-chunk scaling), so the real
+		// reference here is the package function itself; the FP32 kernel
+		// comparison is a loose sanity check.
+		deq := b.Dequantize()
+		loose := NewMatrix(m, n)
+		MatMulABTStream(loose, a, deq)
+		for i := range want.Data {
+			d := math.Abs(float64(want.Data[i]) - float64(loose.Data[i]))
+			if d > 1e-2*(1+math.Abs(float64(loose.Data[i]))) {
+				t.Fatalf("(%d,%d,%d): q8 kernel diverges from dequantized reference: %v vs %v",
+					m, k, n, want.Data[i], loose.Data[i])
+			}
+		}
+
+		for _, workers := range backendWorkerCounts {
+			be := New(workers)
+			got := NewMatrix(m, n)
+			be.MatMulABTStreamQ8(got, a, b)
+			bitsEqual(t, "MatMulABTStreamQ8", got, want)
+
+			vec := make([]float32, n)
+			be.MatVecQ8(vec, b, a.Row(0))
+			for j := 0; j < n; j++ {
+				if math.Float32bits(vec[j]) != math.Float32bits(want.At(0, j)) {
+					t.Fatalf("(%d,%d,%d) workers=%d: MatVecQ8[%d] = %v, stream row 0 = %v",
+						m, k, n, workers, j, vec[j], want.At(0, j))
+				}
+			}
+			if p, ok := be.(*Parallel); ok {
+				p.Close()
+			}
+		}
+	}
+}
+
+// TestQdotAsmMatchesGo holds the SSE4.1 kernel to the portable definition:
+// across shapes that exercise every code path — sub-16 chunks (pure tail),
+// exact 16/64 multiples (pure vector), straddling extents, chunk-boundary
+// partials, negative codes, denormal-scale chunks — the assembly result must
+// be bit-identical to qdotGo. Skipped where the asm kernel doesn't run.
+func TestQdotAsmMatchesGo(t *testing.T) {
+	if !useQdotAsm {
+		t.Skip("no assembly qdot on this build")
+	}
+	r := rng.New(53)
+	for _, n := range []int{1, 3, 15, 16, 17, 31, 64, 65, 100, 128, 200, 1000} {
+		for _, chunk := range []int{1, 3, 16, 64, DefaultQChunk} {
+			a := make([]float32, n)
+			for i := range a {
+				a[i] = (r.Float32() - 0.5) * 4
+			}
+			w := NewMatrix(1, n)
+			for i := range w.Data {
+				w.Data[i] = (r.Float32() - 0.5) * 2
+			}
+			w.Data[0] = 1e-30 // denormal-adjacent scale chunk
+			q := QuantizeMatrix(w, chunk)
+			got := qdotSSE41(&a[0], &q.Data[0], &q.Scales[0], n, chunk)
+			want := qdotGo(a, q.Data, q.Scales, chunk)
+			if math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("n=%d chunk=%d: asm %v (%#x) != go %v (%#x)",
+					n, chunk, got, math.Float32bits(got), want, math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// TestQ8DispatchZeroAlloc extends the zero-allocation guarantee to the
+// quantized dispatch path — the serving hot loop must stay allocation-free
+// when it switches to int8 weights.
+func TestQ8DispatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	p := NewParallel(4)
+	defer p.Close()
+	r := rng.New(7)
+	a := randMatrix(r, 2, 64)
+	q := QuantizeMatrix(randMatrix(r, 600, 64), 0)
+	dst := NewMatrix(2, 600)
+	vec := make([]float32, 600)
+	kernels := map[string]func(){
+		"MatMulABTStreamQ8": func() { p.MatMulABTStreamQ8(dst, a, q) },
+		"MatVecQ8":          func() { p.MatVecQ8(vec, q, a.Row(0)) },
+	}
+	for name, fn := range kernels {
+		if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+			t.Errorf("%s: %v allocations per call through the parallel backend, want 0", name, allocs)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"zipflm/internal/experiments"
+	"zipflm/internal/telemetry"
 	"zipflm/internal/tensor"
 )
 
@@ -34,6 +35,7 @@ import (
 type jsonTable struct {
 	Title   string     `json:"title"`
 	Headers []string   `json:"headers"`
+	Units   []string   `json:"units,omitempty"`
 	Rows    [][]string `json:"rows"`
 }
 
@@ -58,6 +60,7 @@ func toJSONReport(rep *experiments.Report) jsonReport {
 		out.Tables = append(out.Tables, jsonTable{
 			Title:   t.Title,
 			Headers: t.Headers(),
+			Units:   t.Units(),
 			Rows:    t.Rows(),
 		})
 	}
@@ -66,12 +69,13 @@ func toJSONReport(rep *experiments.Report) jsonReport {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id(s) to run, comma-separated, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		quick    = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
-		seed     = flag.Uint64("seed", 42, "reproducibility seed")
-		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
-		workers  = flag.Int("workers", 0, "goroutines per matmul in training-based experiments (0: ZIPFLM_WORKERS or serial; results identical at any value)")
+		exp       = flag.String("exp", "all", "experiment id(s) to run, comma-separated, or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		quick     = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
+		seed      = flag.Uint64("seed", 42, "reproducibility seed")
+		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the simulated-cluster experiments to this path")
+		workers   = flag.Int("workers", 0, "goroutines per matmul in training-based experiments (0: ZIPFLM_WORKERS or serial; results identical at any value)")
 	)
 	flag.Parse()
 
@@ -93,6 +97,9 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *tracePath != "" {
+		opts.Trace = telemetry.NewTracer(0)
+	}
 	ids := experiments.IDs()
 	if *exp != "all" {
 		// Validate every requested id before running anything, so a typo
@@ -148,5 +155,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "zipflm-bench: wrote %d report(s) to %s\n", len(out.Reports), *jsonPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opts.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "zipflm-bench: writing %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "zipflm-bench: wrote %d trace events to %s\n", opts.Trace.Len(), *tracePath)
 	}
 }

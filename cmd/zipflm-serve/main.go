@@ -9,7 +9,12 @@
 //	zipflm-serve -model model.ckpt -vocab vocab.ckpt -addr :8080
 //	curl -s localhost:8080/v1/generate -d '{"prompt":"the cat","n":24,"temperature":0.8,"seed":7}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/v1/reload -d '{"path":"model-v2.ckpt"}'
+//
+// /metrics serves the shared telemetry registry in Prometheus text format
+// (?format=json for a JSON snapshot); -debug-addr exposes net/http/pprof
+// on a separate listener for CPU/heap profiling under load.
 //
 // -model also accepts a full-state checkpoint file or a checkpoint
 // *directory* written by zipflm-train -ckpt-dir; with -watch the server
@@ -35,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers pprof handlers on DefaultServeMux (-debug-addr only)
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +54,7 @@ import (
 	"zipflm/internal/model"
 	"zipflm/internal/sampling"
 	"zipflm/internal/serve"
+	"zipflm/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +73,7 @@ func main() {
 		draftPath = flag.String("draft", "", "draft model checkpoint enabling speculative decoding (same vocabulary)")
 		draftK    = flag.Int("draft-k", 4, "speculative lookahead tokens per round (with -draft)")
 		watch     = flag.Duration("watch", 0, "poll the -model checkpoint directory at this interval and hot-reload new checkpoints (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (empty disables)")
 		loadN     = flag.Int("loadgen", 0, "run N closed-loop requests in-process instead of serving HTTP")
 		clients   = flag.Int("clients", 8, "loadgen concurrency")
 		tokens    = flag.Int("tokens", 24, "loadgen tokens per request")
@@ -110,6 +118,7 @@ func main() {
 		}
 	}
 
+	reg := telemetry.NewRegistry()
 	srv := serve.New(m, serve.Config{
 		Workers:        *workers,
 		ComputeWorkers: *computeW,
@@ -121,8 +130,20 @@ func main() {
 		Quantized:      *quantized,
 		Draft:          draft,
 		DraftK:         *draftK,
+		Telemetry:      reg,
 	})
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		// The pprof import registers only on DefaultServeMux, which the
+		// main listener never serves — profiling stays on its own port.
+		go func() {
+			fmt.Fprintf(os.Stderr, "zipflm-serve: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "zipflm-serve: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	if *loadN > 0 {
 		runLoadgen(srv, m, *loadN, *clients, *tokens, *zipfS, *seed)
@@ -152,6 +173,7 @@ func main() {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(statsJSON(srv.Stats(), weights))
 	})
+	mux.Handle("/metrics", telemetry.Handler(reg))
 	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
 		handleGenerate(w, r, srv, vocab)
 	})
@@ -469,7 +491,8 @@ func runLoadgen(srv *serve.Server, m *model.LM, requests, clients, tokens int, z
 	})
 	snap := srv.Stats()
 	tab := metrics.NewTable(fmt.Sprintf("Closed-loop load: %d requests, %d clients:", requests, clients),
-		"completed", "shed", "tok/s", "req/s", "p50 ms", "p99 ms", "mean batch", "hit rate")
+		"completed", "shed", "throughput", "rate", "p50", "p99", "mean batch", "hit rate")
+	tab.SetUnits("", "", "tok/s", "req/s", "ms", "ms", "seq/step", "%")
 	tab.AddRow(
 		fmt.Sprintf("%d", rep.Completed),
 		fmt.Sprintf("%d", rep.Shed+rep.Expired),
@@ -478,7 +501,7 @@ func runLoadgen(srv *serve.Server, m *model.LM, requests, clients, tokens int, z
 		fmt.Sprintf("%.2f", float64(snap.LatencyP50)/float64(time.Millisecond)),
 		fmt.Sprintf("%.2f", float64(snap.LatencyP99)/float64(time.Millisecond)),
 		fmt.Sprintf("%.2f", snap.MeanBatch),
-		fmt.Sprintf("%.0f%%", 100*snap.HitRate()),
+		fmt.Sprintf("%.0f", 100*snap.HitRate()),
 	)
 	fmt.Print(tab)
 }

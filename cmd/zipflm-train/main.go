@@ -7,11 +7,18 @@
 //	zipflm-train -input corpus.txt -level word -ranks 8 -epochs 2
 //	zipflm-train -synthetic 200000 -level char -ranks 4 -exchange baseline
 //	zipflm-train -synthetic 100000 -sampled 64 -seeding zipf -fp16
+//
+// Observability: -metrics-addr serves the run's telemetry registry at
+// /metrics (Prometheus text format) while training; -trace FILE writes a
+// Chrome trace_event JSON timeline (load it in chrome://tracing or
+// Perfetto) whose spans carry both wall time and the simulated cluster's
+// virtual clock.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"zipflm/internal/collective"
@@ -23,6 +30,7 @@ import (
 	"zipflm/internal/model"
 	"zipflm/internal/optim"
 	"zipflm/internal/sampling"
+	"zipflm/internal/telemetry"
 	"zipflm/internal/trainer"
 )
 
@@ -62,6 +70,8 @@ func main() {
 		resume    = flag.String("resume", "", "resume full training state from the newest checkpoint in this directory (corpus flags and -seed must match the checkpointing run)")
 		seed      = flag.Uint64("seed", 42, "reproducibility seed")
 		workers   = flag.Int("workers", 0, "goroutines per matmul (0: ZIPFLM_WORKERS or serial; losses and weights identical at any value)")
+		metricsAt = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (empty disables)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file on exit (empty disables)")
 	)
 	flag.Parse()
 
@@ -151,6 +161,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	var tracer *telemetry.Tracer
+	if *metricsAt != "" || *tracePath != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if *tracePath != "" {
+		tracer = telemetry.NewTracer(0)
+		cfg.Trace = tracer
+	}
+	if *metricsAt != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "zipflm-train: metrics on http://%s/metrics\n", *metricsAt)
+			if err := http.ListenAndServe(*metricsAt, telemetry.Handler(cfg.Telemetry)); err != nil {
+				fmt.Fprintf(os.Stderr, "zipflm-train: metrics listener: %v\n", err)
+			}
+		}()
+	}
+
 	var tr *trainer.Trainer
 	if *resume != "" {
 		tr, err = trainer.Resume(cfg, *resume, train, valid)
@@ -173,6 +200,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *tracePath, tracer.Len())
 	}
 	tab := metrics.NewTable("validation:", "epoch", "loss (nats)", "perplexity", "BPC")
 	for _, ev := range res.Evals {

@@ -144,4 +144,25 @@
 // bit-identically. The "compress" experiment (zipflm-bench -exp compress)
 // measures bytes and loss deltas on a real run and reprices the
 // weak-scaling step model with compressed payloads.
+//
+// # Observability: unified telemetry, Prometheus, virtual-clock tracing
+//
+// internal/telemetry gives every subsystem one metrics and tracing layer
+// built for nanosecond hot paths: atomic counters and gauges, lock-free
+// log-scale histograms (32 sub-buckets per octave, ≤1.6% relative quantile
+// error) with p50/p99/p999, all zero-allocation on record and no-ops when
+// nil — telemetry off costs one branch. A Registry exports Prometheus text
+// exposition (labeled families like
+// zipflm_collective_bytes_total{op="allreduce",wire="fp16"}) and JSON
+// snapshots; telemetry.Tracer records bounded span/instant timelines as
+// Chrome trace_event JSON whose simulated-cluster spans carry the virtual
+// clock next to wall time — summing a trace's per-phase virtual durations
+// reproduces the trainer's SimComputeSeconds/SimSyncSeconds bitwise. The
+// instrumented paths (collective.Comm per-op/per-wire traffic, trainer
+// step phases and fault counters, ckpt.Dir save/load, the whole serving
+// snapshot — /v1/stats reads from the registry) observe without
+// perturbing: the bit-identity suites rerun with telemetry on and assert
+// identical weights, losses and tokens. Surfaces: zipflm-serve GET
+// /metrics and -debug-addr (net/http/pprof), zipflm-train -metrics-addr
+// and -trace, zipflm-bench -trace, and examples/observability.
 package zipflm

@@ -1,5 +1,7 @@
 package collective
 
+import "time"
+
 // This file implements the bucketed, asynchronous all-reduce path
 // (Horovod/DDP-style): a rank submits gradient tensors as backpropagation
 // produces them, the communicator coalesces consecutive submissions into
@@ -125,6 +127,10 @@ func (c *Comm) flushBucket(rank int) {
 	q.prev = done
 
 	go func() {
+		var t0 time.Time
+		if c.tel != nil {
+			t0 = time.Now()
+		}
 		if waitPrev != nil {
 			<-waitPrev
 		}
@@ -140,6 +146,9 @@ func (c *Comm) flushBucket(rank int) {
 		c.asyncStats[rank].AllReduceCalls += int64(len(parts))
 		c.asyncStats[rank].AllReduceBytes += bytes
 		c.mu.Unlock()
+		if c.tel != nil {
+			c.tel.record("allreduce_async", wireLabel(wire), int64(len(parts)), bytes, int64(time.Since(t0)))
+		}
 		close(done)
 	}()
 }

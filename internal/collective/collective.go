@@ -30,6 +30,7 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Wire models a lossy wire precision for float payloads. Every synchronous
@@ -117,6 +118,11 @@ type Comm struct {
 	// participating ranks' virtual clocks (cost.go). nil keeps the hot
 	// paths on the exact pre-simulation code path.
 	cost *CostModel
+
+	// tel, when non-nil, posts per-operation calls/bytes/durations to a
+	// telemetry registry (telemetry.go). Purely observational: nil keeps
+	// every operation on the exact uninstrumented code path.
+	tel *commTelemetry
 }
 
 // Stats tallies traffic a single rank has sent, by operation.
@@ -444,6 +450,10 @@ func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32,
 // return no peer still reads this rank's buffer, so the caller may mutate
 // x immediately.
 func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
+	var t0 time.Time
+	if c.tel != nil {
+		t0 = time.Now()
+	}
 	var parts [1][]float32
 	parts[0] = x
 	bytes := c.ringAllReduce(c.ring, rank, parts[:], wire)
@@ -455,6 +465,9 @@ func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
 		cm.Charge(cm.Link.RingAllReduceSecondsBytes(c.g, wireSize(wire, chunk)))
 	})
 	c.addAllReduceStats(rank, 1, bytes)
+	if c.tel != nil {
+		c.tel.record("allreduce", wireLabel(wire), 1, bytes, int64(time.Since(t0)))
+	}
 }
 
 // AllGatherInts gathers each rank's (possibly different-length) int slice;
@@ -462,6 +475,10 @@ func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
 // Θ(G·K) index gather of §III-A step 3. The returned inner slices are
 // copies owned by the caller (the blackboard stash itself is pooled).
 func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
+	var t0 time.Time
+	if c.tel != nil {
+		t0 = time.Now()
+	}
 	c.stashInts(rank, local)
 	c.barrier.Wait()
 
@@ -491,6 +508,9 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 	c.charge(rank, func(cm *CostModel) {
 		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, int64(4*maxElems)))
 	})
+	if c.tel != nil {
+		c.tel.record("allgather_ints", "int32", 1, bytes, int64(time.Since(t0)))
+	}
 	return out
 }
 
@@ -498,6 +518,10 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 // FP16 on the wire. This is the expensive baseline exchange of §II-B: the
 // result materializes G dense gradient blocks on every rank.
 func (c *Comm) AllGatherFloats(rank int, local []float32, wire Wire) [][]float32 {
+	var t0 time.Time
+	if c.tel != nil {
+		t0 = time.Now()
+	}
 	c.stashFloats(rank, local, wire)
 	c.barrier.Wait()
 
@@ -526,12 +550,19 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire Wire) [][]float32
 	c.charge(rank, func(cm *CostModel) {
 		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, maxBytes))
 	})
+	if c.tel != nil {
+		c.tel.record("allgather_floats", wireLabel(wire), 1, bytes, int64(time.Since(t0)))
+	}
 	return out
 }
 
 // Broadcast distributes root's buffer to every rank (into each rank's x,
 // which must have the root's length).
 func (c *Comm) Broadcast(rank, root int, x []float32) {
+	var t0 time.Time
+	if c.tel != nil {
+		t0 = time.Now()
+	}
 	if rank == root {
 		c.stashFloats(root, x, nil)
 	}
@@ -560,6 +591,13 @@ func (c *Comm) Broadcast(rank, root int, x []float32) {
 	c.charge(rank, func(cm *CostModel) {
 		cm.Charge(cm.Link.TreeBroadcastSeconds(c.g, int64(4*len(x))))
 	})
+	if c.tel != nil {
+		var bytes int64
+		if rank == root {
+			bytes = int64(4 * len(x))
+		}
+		c.tel.record("broadcast", "fp32", 1, bytes, int64(time.Since(t0)))
+	}
 }
 
 // AgreeAllOK is a control-plane consensus: every rank reports a boolean and

@@ -1,6 +1,9 @@
 package collective
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // This file is the compressed collective path the gradient-compression
 // subsystem (internal/compress) rides on. Sparsifying compressors (top-k
@@ -67,6 +70,10 @@ func (c *Comm) putByteBuf(p *[]byte) { c.byteBuf.Put(p) }
 // compressed gather) builds on. The returned inner slices are copies owned
 // by the caller.
 func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
+	var t0 time.Time
+	if c.tel != nil {
+		t0 = time.Now()
+	}
 	c.stashBytes(rank, local)
 	c.barrier.Wait()
 
@@ -94,6 +101,9 @@ func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
 	c.charge(rank, func(cm *CostModel) {
 		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, max))
 	})
+	if c.tel != nil {
+		c.tel.record("allgather_bytes", "bytes", 1, bytes, int64(time.Since(t0)))
+	}
 	return out
 }
 
@@ -111,6 +121,10 @@ func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
 // ratio below one shows up directly as fewer wire bytes and less simulated
 // communication time.
 func (c *Comm) AllReduceCompressed(rank int, x []float32, payload []byte, dec Decoder) error {
+	var t0 time.Time
+	if c.tel != nil {
+		t0 = time.Now()
+	}
 	c.stashBytes(rank, payload)
 	c.barrier.Wait()
 
@@ -151,5 +165,8 @@ func (c *Comm) AllReduceCompressed(rank int, x []float32, payload []byte, dec De
 	c.charge(rank, func(cm *CostModel) {
 		cm.Charge(cm.Link.RingAllGatherSeconds(c.g, max))
 	})
+	if c.tel != nil {
+		c.tel.record("allreduce_compressed", "bytes", 1, bytes, int64(time.Since(t0)))
+	}
 	return err
 }

@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"sync"
+
+	"zipflm/internal/telemetry"
+)
+
+// WireNamer is optionally implemented by Wire formats to identify
+// themselves in telemetry labels (half.Scaler reports "fp16",
+// compress.Quant8 reports "q8"). Formats without it label as "custom".
+type WireNamer interface {
+	WireName() string
+}
+
+// wireLabel resolves the telemetry label for a wire format.
+func wireLabel(w Wire) string {
+	if w == nil {
+		return "fp32"
+	}
+	if n, ok := w.(WireNamer); ok {
+		return n.WireName()
+	}
+	return "custom"
+}
+
+// opInst is the instrument set of one (operation, wire) pair, resolved once
+// and cached so the per-call cost is a map lookup, never a name build.
+type opInst struct {
+	calls *telemetry.Counter
+	bytes *telemetry.Counter
+	dur   *telemetry.Histogram
+}
+
+type opKey struct{ op, wire string }
+
+// commTelemetry holds the communicator's registry hookup. A nil
+// *commTelemetry (telemetry off) makes every record a single branch.
+type commTelemetry struct {
+	reg *telemetry.Registry
+	mu  sync.Mutex
+	ops map[opKey]*opInst
+}
+
+// AttachTelemetry wires the communicator's collectives into reg: per
+// operation and wire format, a call counter, a wire-byte counter, and a
+// wall-duration histogram (zipflm_collective_calls_total / _bytes_total /
+// _seconds, labelled op= and wire=). Counters tally per rank, like Stats.
+// Attach before the first collective; a nil reg detaches. Telemetry only
+// observes — reduced values, Stats accounting, and virtual-clock charges
+// are bit-identical with or without it.
+func (c *Comm) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	c.tel = &commTelemetry{reg: reg, ops: make(map[opKey]*opInst)}
+}
+
+// inst returns the cached instrument set for (op, wire).
+func (ct *commTelemetry) inst(op, wire string) *opInst {
+	k := opKey{op, wire}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	oi, ok := ct.ops[k]
+	if !ok {
+		label := func(base string) string {
+			return telemetry.Label(telemetry.Label(base, "op", op), "wire", wire)
+		}
+		oi = &opInst{
+			calls: ct.reg.Counter(label("zipflm_collective_calls_total")),
+			bytes: ct.reg.Counter(label("zipflm_collective_bytes_total")),
+			dur:   ct.reg.Duration(label("zipflm_collective_seconds")),
+		}
+		ct.ops[k] = oi
+	}
+	return oi
+}
+
+// record posts one completed operation: calls operations moving bytes over
+// the wire in dur nanoseconds of wall time.
+func (ct *commTelemetry) record(op, wire string, calls, bytes, durNanos int64) {
+	if ct == nil {
+		return
+	}
+	oi := ct.inst(op, wire)
+	oi.calls.Add(calls)
+	oi.bytes.Add(bytes)
+	oi.dur.Record(durNanos)
+}

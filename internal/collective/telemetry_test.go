@@ -1,0 +1,125 @@
+package collective
+
+import (
+	"testing"
+
+	"zipflm/internal/half"
+	"zipflm/internal/telemetry"
+)
+
+// TestTelemetryObservesWithoutPerturbing runs the same all-reduce with and
+// without telemetry attached: results must be bit-identical, and the
+// telemetry byte counter must agree exactly with the Stats accounting.
+func TestTelemetryObservesWithoutPerturbing(t *testing.T) {
+	const g, n = 4, 257
+	mk := func() [][]float32 {
+		xs := make([][]float32, g)
+		for r := range xs {
+			xs[r] = make([]float32, n)
+			for i := range xs[r] {
+				xs[r][i] = float32(r+1) * float32(i%17) * 0.25
+			}
+		}
+		return xs
+	}
+
+	plain := mk()
+	cp := New(g)
+	runRanks(g, func(rank int) { cp.AllReduce(rank, plain[rank], nil) })
+
+	observed := mk()
+	reg := telemetry.NewRegistry()
+	ct := New(g)
+	ct.AttachTelemetry(reg)
+	runRanks(g, func(rank int) { ct.AllReduce(rank, observed[rank], nil) })
+
+	for r := 0; r < g; r++ {
+		for i := range plain[r] {
+			if plain[r][i] != observed[r][i] {
+				t.Fatalf("rank %d elem %d: %g (plain) != %g (telemetry on)", r, i, plain[r][i], observed[r][i])
+			}
+		}
+	}
+
+	var statBytes, statCalls int64
+	for r := 0; r < g; r++ {
+		s := ct.RankStats(r)
+		statBytes += s.AllReduceBytes
+		statCalls += s.AllReduceCalls
+	}
+	name := telemetry.Label(telemetry.Label("zipflm_collective_bytes_total", "op", "allreduce"), "wire", "fp32")
+	if got := reg.Counter(name).Value(); got != statBytes {
+		t.Fatalf("telemetry bytes %d != Stats bytes %d", got, statBytes)
+	}
+	callName := telemetry.Label(telemetry.Label("zipflm_collective_calls_total", "op", "allreduce"), "wire", "fp32")
+	if got := reg.Counter(callName).Value(); got != statCalls {
+		t.Fatalf("telemetry calls %d != Stats calls %d", got, statCalls)
+	}
+	durName := telemetry.Label(telemetry.Label("zipflm_collective_seconds", "op", "allreduce"), "wire", "fp32")
+	if got := reg.Duration(durName).Count(); got != statCalls {
+		t.Fatalf("duration histogram has %d observations, want %d", got, statCalls)
+	}
+}
+
+// TestTelemetryWireLabels checks the wire-format label resolution, including
+// the WireNamer hook on half.Scaler.
+func TestTelemetryWireLabels(t *testing.T) {
+	if wireLabel(nil) != "fp32" {
+		t.Errorf("nil wire label = %q, want fp32", wireLabel(nil))
+	}
+	if got := wireLabel(half.NewScaler(1024)); got != "fp16" {
+		t.Errorf("Scaler label = %q, want fp16", got)
+	}
+	type anon struct{ Wire }
+	if got := wireLabel(anon{}); got != "custom" {
+		t.Errorf("unnamed wire label = %q, want custom", got)
+	}
+
+	const g = 2
+	reg := telemetry.NewRegistry()
+	c := New(g)
+	c.AttachTelemetry(reg)
+	xs := make([][]float32, g)
+	for r := range xs {
+		xs[r] = make([]float32, 64)
+		for i := range xs[r] {
+			xs[r][i] = float32(i)
+		}
+	}
+	runRanks(g, func(rank int) { c.AllReduce(rank, xs[rank], half.NewScaler(1024)) })
+	name := telemetry.Label(telemetry.Label("zipflm_collective_calls_total", "op", "allreduce"), "wire", "fp16")
+	if got := reg.Counter(name).Value(); got != g {
+		t.Fatalf("fp16-labelled calls = %d, want %d", got, g)
+	}
+}
+
+// TestTelemetryAsyncAndGather covers the async bucket path and the gathers.
+func TestTelemetryAsyncAndGather(t *testing.T) {
+	const g = 2
+	reg := telemetry.NewRegistry()
+	c := New(g)
+	c.AttachTelemetry(reg)
+
+	xs := make([][]float32, g)
+	for r := range xs {
+		xs[r] = make([]float32, 32)
+	}
+	runRanks(g, func(rank int) {
+		p := c.AllReduceAsync(rank, xs[rank], nil)
+		c.FlushAsync(rank)
+		p.Wait()
+		c.AllGatherInts(rank, []int{rank})
+		c.AllGatherFloats(rank, xs[rank][:4], nil)
+	})
+
+	for _, op := range []string{"allreduce_async", "allgather_ints", "allgather_floats"} {
+		wire := "fp32"
+		if op == "allgather_ints" {
+			wire = "int32"
+		}
+		name := telemetry.Label(telemetry.Label("zipflm_collective_calls_total", "op", op), "wire", wire)
+		if got := reg.Counter(name).Value(); got != g {
+			t.Errorf("%s calls = %d, want %d", op, got, g)
+		}
+	}
+}

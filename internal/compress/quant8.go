@@ -55,6 +55,10 @@ func (q *Quant8) WireBytes(n int) int {
 	return n + 4*chunks
 }
 
+// WireName identifies this format in telemetry labels
+// (collective.WireNamer).
+func (q *Quant8) WireName() string { return "q8" }
+
 // Chunks returns the number of scale blocks n elements occupy — the length
 // Encode requires of its scales argument.
 func (q *Quant8) Chunks(n int) int {

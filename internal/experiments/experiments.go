@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"zipflm/internal/metrics"
+	"zipflm/internal/telemetry"
 )
 
 // Options tunes experiment execution.
@@ -33,6 +34,11 @@ type Options struct {
 	Quick bool
 	// Seed makes every experiment reproducible.
 	Seed uint64
+	// Trace, when non-nil, collects span timelines from the experiments
+	// that train over the simulated cluster (currently the fault-injection
+	// sweep) — export it with telemetry.Tracer.WriteChromeTrace. Purely
+	// observational; results are identical with or without it.
+	Trace *telemetry.Tracer
 }
 
 // DefaultOptions returns the standard configuration.

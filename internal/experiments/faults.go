@@ -108,6 +108,7 @@ func runFaults(opts Options) (*Report, error) {
 		cfg.CheckpointEvery = interval
 		cfg.SimCheckpointSeconds = delta
 		cfg.SimRestartSeconds = restart
+		cfg.Trace = opts.Trace
 		// Horizon with slack: overheads and replays stretch the run well
 		// past the ideal time; events past the actual end stay unconsumed.
 		horizon := float64(committed) * stepSec * 20
@@ -135,7 +136,8 @@ func runFaults(opts Options) (*Report, error) {
 	tab := metrics.NewTable(
 		fmt.Sprintf("Goodput under injected failures (%s, %d ranks, %d committed steps, ideal step %.3f s, checkpoint δ %.2f s, restart %.2f s):",
 			hw.Name, ranks, committed, stepSec, delta, restart),
-		"MTBF s", "ckpt every (steps)", "YD τ (steps)", "ckpts", "faults", "lost steps", "sim s", "goodput")
+		"MTBF", "ckpt every", "YD τ", "ckpts", "faults", "lost steps", "sim time", "goodput")
+	tab.SetUnits("s", "steps", "steps", "", "", "steps", "s", "ratio")
 
 	notes := []string{
 		"a real model trains over the simulated cluster; the virtual clock charges the paper word LM's 136 GFLOP/step at 40% of Titan X peak, checkpoint barriers at δ, and failure recoveries at the restart cost",

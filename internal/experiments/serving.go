@@ -60,7 +60,8 @@ func runServing(opts Options) (*Report, error) {
 	}
 
 	tab := metrics.NewTable("Closed-loop Zipf load, one worker replica:",
-		"config", "req", "tok/s", "req/s", "p50 ms", "p99 ms", "mean batch", "hit rate", "prefix hits", "shed")
+		"config", "req", "throughput", "rate", "p50", "p99", "mean batch", "hit rate", "prefix hits", "shed")
+	tab.SetUnits("", "", "tok/s", "req/s", "ms", "ms", "seq/step", "%", "", "")
 	notes := []string{
 		fmt.Sprintf("workload: %d requests, %d clients closed-loop, %d-rank Zipf(s=%.1f) prompt popularity, %d tokens/request",
 			load.Requests, load.Clients, load.PromptPool, load.ZipfS, load.Tokens),
@@ -93,7 +94,7 @@ func runServing(opts Options) (*Report, error) {
 			fmt.Sprintf("%.2f", float64(snap.LatencyP50)/float64(time.Millisecond)),
 			fmt.Sprintf("%.2f", float64(snap.LatencyP99)/float64(time.Millisecond)),
 			fmt.Sprintf("%.2f", snap.MeanBatch),
-			fmt.Sprintf("%.0f%%", 100*snap.HitRate()),
+			fmt.Sprintf("%.0f", 100*snap.HitRate()),
 			fmt.Sprintf("%d", rep.PrefixHits),
 			fmt.Sprintf("%d", rep.Shed+rep.Expired),
 		)

@@ -265,7 +265,8 @@ func runWeakScale(opts Options) (*Report, error) {
 		fmt.Sprintf("%s weak scaling on %s (online virtual clock; K = %d tokens/GPU fixed, steps/epoch = %.0f):",
 			w.Name, hw.Name, w.K, stepsPerEpoch),
 		"GPUs", "engine", "U_g in", "sparse wire/rank",
-		"comm ms", "compute ms", "update ms", "step s", "epoch hrs", "vs anchor")
+		"comm", "compute", "update", "step", "epoch", "vs anchor")
+	tab.SetUnits("", "", "words", "", "ms", "ms", "ms", "s", "hrs", "×")
 
 	notes := []string{
 		"engines run online over the simulated cluster: collectives advance per-rank virtual clocks by α + bytes/β on the Table II links; dense all-reduce, compute, update and overhead charge the same clocks",

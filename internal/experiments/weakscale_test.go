@@ -32,7 +32,7 @@ func TestWeakScaleExperiment(t *testing.T) {
 	if !strings.Contains(out, "deterministic") {
 		t.Errorf("missing determinism note:\n%s", out)
 	}
-	for _, col := range []string{"comm ms", "update ms", "epoch hrs", "unique+seed+fp16", "baseline-allgather"} {
+	for _, col := range []string{"comm [ms]", "update [ms]", "epoch [hrs]", "unique+seed+fp16", "baseline-allgather"} {
 		if !strings.Contains(out, col) {
 			t.Errorf("report missing %q:\n%s", col, out)
 		}

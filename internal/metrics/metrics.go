@@ -46,6 +46,7 @@ func HumanBytes(b int64) string {
 type Table struct {
 	Title   string
 	headers []string
+	units   []string
 	rows    [][]string
 }
 
@@ -71,6 +72,46 @@ func (t *Table) Headers() []string {
 	out := make([]string, len(t.headers))
 	copy(out, t.headers)
 	return out
+}
+
+// SetUnits annotates the columns with units ("ms", "tok/s", "nats"; ""
+// for dimensionless columns). Units beyond the header count are dropped,
+// missing units are empty. The rendered header becomes "name [unit]" and
+// the JSON emitters carry the units alongside the headers, so a consumer
+// never has to guess a column's dimension. Returns the table for chaining.
+func (t *Table) SetUnits(units ...string) *Table {
+	t.units = make([]string, len(t.headers))
+	for i := range t.units {
+		if i < len(units) {
+			t.units[i] = units[i]
+		}
+	}
+	return t
+}
+
+// Units returns the per-column units set by SetUnits, or nil when the
+// table carries none.
+func (t *Table) Units() []string {
+	if t.units == nil {
+		return nil
+	}
+	out := make([]string, len(t.units))
+	copy(out, t.units)
+	return out
+}
+
+// headerCells returns the headers as rendered: "name [unit]" for columns
+// with a unit, bare name otherwise.
+func (t *Table) headerCells() []string {
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		if t.units != nil && t.units[i] != "" {
+			cells[i] = h + " [" + t.units[i] + "]"
+		} else {
+			cells[i] = h
+		}
+	}
+	return cells
 }
 
 // Rows returns a copy of the accumulated rows, each padded to the header
@@ -101,8 +142,9 @@ func (t *Table) AddRowf(cells ...interface{}) {
 
 // String renders the table.
 func (t *Table) String() string {
-	widths := make([]int, len(t.headers))
-	for i, h := range t.headers {
+	headers := t.headerCells()
+	widths := make([]int, len(headers))
+	for i, h := range headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
@@ -126,7 +168,7 @@ func (t *Table) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	writeRow(t.headers)
+	writeRow(headers)
 	total := 0
 	for _, w := range widths {
 		total += w + 2

@@ -67,3 +67,47 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("header line %q", lines[1])
 	}
 }
+
+// TestTableUnitsRoundTrip: units survive the header → JSON-emitter round
+// trip — SetUnits pads/truncates against the header count, Units returns
+// what a JSON emitter must carry, and the rendered header shows "name
+// [unit]" only for columns that have one.
+func TestTableUnitsRoundTrip(t *testing.T) {
+	tab := NewTable("t:", "config", "latency", "throughput")
+	tab.SetUnits("", "ms", "tok/s", "dropped-extra")
+	tab.AddRow("a", "1.5", "900")
+
+	units := tab.Units()
+	want := []string{"", "ms", "tok/s"}
+	if len(units) != len(want) {
+		t.Fatalf("Units() = %v, want %v", units, want)
+	}
+	for i := range want {
+		if units[i] != want[i] {
+			t.Fatalf("Units()[%d] = %q, want %q", i, units[i], want[i])
+		}
+	}
+	// Mutating the returned slice must not leak into the table.
+	units[1] = "corrupted"
+	if tab.Units()[1] != "ms" {
+		t.Fatal("Units() returned the internal slice, not a copy")
+	}
+
+	out := tab.String()
+	for _, wantStr := range []string{"latency [ms]", "throughput [tok/s]"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("rendered table missing %q:\n%s", wantStr, out)
+		}
+	}
+	if strings.Contains(out, "config [") {
+		t.Errorf("unit-less column rendered a bracket:\n%s", out)
+	}
+	if strings.Contains(out, "dropped-extra") {
+		t.Errorf("excess unit not dropped:\n%s", out)
+	}
+
+	// A table that never calls SetUnits carries none (omitted from JSON).
+	if NewTable("t:", "a").Units() != nil {
+		t.Error("Units() on a unit-less table must be nil")
+	}
+}

@@ -26,6 +26,10 @@ type seq struct {
 	r      *rng.RNG
 	fed    int   // tokens fed so far (prompt first, then own output)
 	out    []int // generated tokens
+	// Trace timestamps, populated only when the server has a tracer:
+	// admitted ends the queue span; prefillEnd splits prefill from decode.
+	admitted   time.Time
+	prefillEnd time.Time
 }
 
 // nextInput returns the token this sequence feeds on the next step.
@@ -58,6 +62,7 @@ type pendingModel struct {
 // start-to-finish on one weights generation, and nothing is shed.
 type worker struct {
 	s       *Server
+	id      int // worker index, the trace tid for this replica's spans
 	m       *model.LM
 	arch    model.Config // immutable architecture, read by Reload for validation
 	version uint64       // weights generation of w.m (worker-goroutine owned)
@@ -297,12 +302,17 @@ func (w *worker) admit(t *task) {
 	req := t.req
 	if !req.Deadline.IsZero() && time.Now().After(req.Deadline) {
 		w.s.stats.onShed(true)
+		w.s.tracer.Instant("serve", "expired", w.id, time.Now(), 0)
 		t.done <- taskDone{err: ErrDeadlineExceeded}
 		return
 	}
 	w.s.stats.onAccept()
 
 	q := &seq{t: t, r: rng.New(req.Seed), out: make([]int, 0, req.N)}
+	if w.s.tracer != nil {
+		q.admitted = time.Now()
+		w.s.tracer.Span("serve", "queue", w.id, t.submitted, q.admitted.Sub(t.submitted), 0, 0)
+	}
 
 	if val, ok := w.prefixLookup(req.Prompt); ok {
 		// Hot prompt: restore the post-prompt state and draw the first
@@ -312,8 +322,10 @@ func (w *worker) admit(t *task) {
 		q.state = pe.state.Clone()
 		q.fed = len(req.Prompt)
 		t.prefix = true
+		q.prefillEnd = q.admitted // prefill skipped via the prefix cache
 		q.out = append(q.out, w.dec.Sample(pe.logits, req.Opts, q.r))
 		if len(q.out) == req.N {
+			w.traceRetire(q)
 			t.done <- taskDone{tokens: q.out, version: w.version}
 			return
 		}
@@ -337,6 +349,25 @@ func (w *worker) admit(t *task) {
 		}
 	}
 	w.active = append(w.active, q)
+}
+
+// traceRetire closes out a completed sequence's spans: prefill (admission
+// to end of prompt consumption) and decode (the rest). No-op without a
+// tracer.
+func (w *worker) traceRetire(q *seq) {
+	tr := w.s.tracer
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	pe := q.prefillEnd
+	if pe.IsZero() {
+		// Retired before the prompt finished (cannot happen today, but a
+		// span must not run backwards if it ever does).
+		pe = now
+	}
+	tr.Span("serve", "prefill", w.id, q.admitted, pe.Sub(q.admitted), 0, 0)
+	tr.Span("serve", "decode", w.id, pe, now.Sub(pe), 0, 0)
 }
 
 // prefixLookup consults the prefix cache, skipping even the key build when
@@ -385,6 +416,9 @@ func (w *worker) step() {
 		if q.fed >= p {
 			row := lg.Row(i)
 			if q.fed == p {
+				if w.s.tracer != nil {
+					q.prefillEnd = time.Now()
+				}
 				// Prompt just finished: snapshot for future requests
 				// sharing it (state and logits are copied, so later
 				// mutation of the live sequence cannot corrupt it).
@@ -398,6 +432,7 @@ func (w *worker) step() {
 			}
 			q.out = append(q.out, w.dec.Sample(row, q.t.req.Opts, q.r))
 			if len(q.out) == q.t.req.N {
+				w.traceRetire(q)
 				q.t.done <- taskDone{tokens: q.out, version: w.version}
 				continue // retire
 			}
@@ -519,6 +554,7 @@ func (w *worker) stepSpec() {
 		proposed += j - 1
 		accepted += emitted - 1
 		if len(q.out) == q.t.req.N {
+			w.traceRetire(q)
 			q.t.done <- taskDone{tokens: q.out, version: w.version}
 			continue // retire
 		}
@@ -552,6 +588,7 @@ func (w *worker) expire(now time.Time) {
 	for _, q := range w.active {
 		if d := q.t.req.Deadline; !d.IsZero() && now.After(d) {
 			w.s.stats.onExpire(len(q.out))
+			w.s.tracer.Instant("serve", "expired", w.id, now, 0)
 			q.t.done <- taskDone{err: ErrDeadlineExceeded}
 			continue
 		}

@@ -36,6 +36,7 @@ import (
 
 	"zipflm/internal/model"
 	"zipflm/internal/sampling"
+	"zipflm/internal/telemetry"
 	"zipflm/internal/tensor"
 )
 
@@ -135,6 +136,15 @@ type Config struct {
 	// DraftK is the speculative lookahead (default 4, used only with
 	// Draft).
 	DraftK int
+	// Telemetry, when non-nil, is the registry the server records into —
+	// share one across subsystems to serve a single /metrics endpoint.
+	// When nil the server creates a private registry, so Stats always
+	// reads from registry instruments either way (Telemetry() exposes it).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records per-request spans (queue, prefill,
+	// decode) and shed/expire instants. Purely observational: responses
+	// are bit-identical with tracing on or off.
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults fills zero fields.
@@ -162,9 +172,10 @@ func (c Config) withDefaults() Config {
 
 // task is a queued request plus its completion channel.
 type task struct {
-	req    Request
-	prefix bool // served via prefix cache
-	done   chan taskDone
+	req       Request
+	prefix    bool      // served via prefix cache
+	submitted time.Time // when Submit enqueued it (queue-span start)
+	done      chan taskDone
 }
 
 type taskDone struct {
@@ -183,6 +194,8 @@ type Server struct {
 	mu      sync.RWMutex // guards closed + enqueue-vs-Close ordering
 	closed  bool
 	stats   *statsCollector
+	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
 	results *lruCache
 	prefix  *lruCache
 	workers []*worker
@@ -206,16 +219,54 @@ type Server struct {
 // training or evaluation.
 func New(m *model.LM, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry
+	if reg == nil {
+		// A private registry keeps the registry-backed stats path uniform;
+		// recording is a few atomics, so the unexported default costs no
+		// more than dedicated counters would.
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		vocab:   m.Cfg.Vocab,
 		queue:   make(chan *task, cfg.QueueDepth),
 		stop:    make(chan struct{}),
-		stats:   newStatsCollector(cfg.MaxBatch),
+		stats:   newStatsCollector(cfg.MaxBatch, reg),
+		reg:     reg,
+		tracer:  cfg.Tracer,
 		results: newLRUCache(cfg.CacheEntries),
 		prefix:  newLRUCache(cfg.PrefixEntries),
 	}
 	s.version.Store(1)
+	// Cache counters live in the LRUs and the queue depth in the channel;
+	// fold them into the registry at scrape time rather than on every
+	// operation.
+	var (
+		qDepth    = reg.Gauge("zipflm_serve_queue_depth")
+		rHits     = reg.Gauge("zipflm_serve_result_cache_hits")
+		rMisses   = reg.Gauge("zipflm_serve_result_cache_misses")
+		rEvicted  = reg.Gauge("zipflm_serve_result_cache_evicted")
+		rEntries  = reg.Gauge("zipflm_serve_result_cache_entries")
+		pHits     = reg.Gauge("zipflm_serve_prefix_cache_hits")
+		pMisses   = reg.Gauge("zipflm_serve_prefix_cache_misses")
+		pEvicted  = reg.Gauge("zipflm_serve_prefix_cache_evicted")
+		pEntries  = reg.Gauge("zipflm_serve_prefix_cache_entries")
+		weightVer = reg.Gauge("zipflm_serve_weights_version")
+	)
+	reg.OnCollect(func() {
+		qDepth.SetInt(int64(len(s.queue)))
+		h, miss, ev, n := s.results.counters()
+		rHits.SetInt(int64(h))
+		rMisses.SetInt(int64(miss))
+		rEvicted.SetInt(int64(ev))
+		rEntries.SetInt(int64(n))
+		h, miss, ev, n = s.prefix.counters()
+		pHits.SetInt(int64(h))
+		pMisses.SetInt(int64(miss))
+		pEvicted.SetInt(int64(ev))
+		pEntries.SetInt(int64(n))
+		weightVer.SetInt(int64(s.version.Load()))
+	})
 	if cfg.ComputeWorkers > 0 {
 		s.backend = tensor.New(cfg.ComputeWorkers)
 	}
@@ -228,6 +279,7 @@ func New(m *model.LM, cfg Config) *Server {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker(s, s.buildReplica(m), s.buildDraftReplica())
+		w.id = i
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
 		go func() {
@@ -360,6 +412,7 @@ func (s *Server) Submit(req Request) (*Result, error) {
 	// request whether or not it happens to be hot.
 	if !req.Deadline.IsZero() && start.After(req.Deadline) {
 		s.stats.onShed(true)
+		s.tracer.Instant("serve", "expired", 0, start, 0)
 		return nil, ErrDeadlineExceeded
 	}
 
@@ -383,7 +436,7 @@ func (s *Server) Submit(req Request) (*Result, error) {
 		}
 	}
 
-	t := &task{req: req, done: make(chan taskDone, 1)}
+	t := &task{req: req, submitted: start, done: make(chan taskDone, 1)}
 
 	// Enqueue under the read lock so Close (write lock) can guarantee no
 	// task lands in the queue after the final drain.
@@ -398,6 +451,7 @@ func (s *Server) Submit(req Request) (*Result, error) {
 	default:
 		s.mu.RUnlock()
 		s.stats.onShed(false)
+		s.tracer.Instant("serve", "shed", 0, time.Now(), 0)
 		return nil, ErrOverloaded
 	}
 
@@ -413,6 +467,11 @@ func (s *Server) Submit(req Request) (*Result, error) {
 	res := &Result{Tokens: append([]int(nil), d.tokens...), PrefixHit: t.prefix, Latency: lat, WeightsVersion: d.version}
 	return res, nil
 }
+
+// Telemetry returns the registry the server records into — the one passed
+// via Config.Telemetry, or the private registry the server created. Serve
+// it with telemetry.Handler to expose /metrics.
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
 
 // Stats returns current serving telemetry.
 func (s *Server) Stats() Snapshot {

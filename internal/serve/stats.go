@@ -1,61 +1,78 @@
 package serve
 
 import (
-	"sort"
-	"sync"
+	"strconv"
 	"time"
+
+	"zipflm/internal/telemetry"
 )
 
-// latRingSize bounds the latency reservoir so a long-running server's
-// quantiles stay O(1) memory; recent samples overwrite the oldest.
-const latRingSize = 8192
-
-// statsCollector accumulates serving telemetry. All methods are safe for
-// concurrent use.
+// statsCollector accumulates serving telemetry on a telemetry.Registry —
+// the single source of truth: Snapshot (and the /v1/stats JSON built from
+// it) and the Prometheus /metrics endpoint read the same instruments. The
+// server always owns a registry (a private one when Config.Telemetry is
+// nil), so the collector's instruments are never nil; recording is a few
+// atomic operations, cheaper than the mutex ring it replaced. All methods
+// are safe for concurrent use.
 type statsCollector struct {
-	mu        sync.Mutex
-	start     time.Time
-	accepted  uint64
-	completed uint64
-	shed      uint64 // admission-queue overflow
-	expired   uint64 // deadline expiries, before or during service
-	// expiredInFlight counts the subset of expired that had already started
-	// generating when the deadline passed; discardedTokens is the partial
-	// output those sequences threw away — wasted compute made visible.
-	expiredInFlight uint64
-	discardedTokens uint64
-	tokens          uint64
-	batches         []uint64 // batches[b] = steps executed at batch size b
-	batchSum        uint64   // Σ b·batches[b] (sequence-steps)
-	stepCount       uint64
-	// Speculative-decoding counters (zero on non-speculative servers).
-	specRounds    uint64
-	draftProposed uint64
-	draftAccepted uint64
-	draftSteps    uint64
-	lat           [latRingSize]time.Duration
-	latCount      uint64 // total recorded (ring wraps)
-	latSum        time.Duration
+	start time.Time
+	reg   *telemetry.Registry
+
+	accepted        *telemetry.Counter
+	completed       *telemetry.Counter
+	shed            *telemetry.Counter
+	expired         *telemetry.Counter
+	expiredInFlight *telemetry.Counter
+	discardedTokens *telemetry.Counter
+	tokens          *telemetry.Counter
+	stepCount       *telemetry.Counter
+	batchSum        *telemetry.Counter
+	specRounds      *telemetry.Counter
+	draftProposed   *telemetry.Counter
+	draftAccepted   *telemetry.Counter
+	draftSteps      *telemetry.Counter
+	lat             *telemetry.Histogram
+	occupancy       *telemetry.Gauge
+	// batches[b] counts steps executed at batch size b
+	// (zipflm_serve_batch_steps_total{batch="b"}).
+	batches []*telemetry.Counter
 }
 
-func newStatsCollector(maxBatch int) *statsCollector {
-	return &statsCollector{start: time.Now(), batches: make([]uint64, maxBatch+1)}
+func newStatsCollector(maxBatch int, reg *telemetry.Registry) *statsCollector {
+	s := &statsCollector{
+		start:           time.Now(),
+		reg:             reg,
+		accepted:        reg.Counter("zipflm_serve_accepted_total"),
+		completed:       reg.Counter("zipflm_serve_completed_total"),
+		shed:            reg.Counter("zipflm_serve_shed_total"),
+		expired:         reg.Counter("zipflm_serve_expired_total"),
+		expiredInFlight: reg.Counter("zipflm_serve_expired_in_flight_total"),
+		discardedTokens: reg.Counter("zipflm_serve_discarded_tokens_total"),
+		tokens:          reg.Counter("zipflm_serve_tokens_total"),
+		stepCount:       reg.Counter("zipflm_serve_steps_total"),
+		batchSum:        reg.Counter("zipflm_serve_seq_steps_total"),
+		specRounds:      reg.Counter("zipflm_serve_spec_rounds_total"),
+		draftProposed:   reg.Counter("zipflm_serve_draft_proposed_total"),
+		draftAccepted:   reg.Counter("zipflm_serve_draft_accepted_total"),
+		draftSteps:      reg.Counter("zipflm_serve_draft_steps_total"),
+		lat:             reg.Duration("zipflm_serve_latency_seconds"),
+		occupancy:       reg.Gauge("zipflm_serve_batch_occupancy"),
+		batches:         make([]*telemetry.Counter, maxBatch+1),
+	}
+	for b := range s.batches {
+		s.batches[b] = reg.Counter(telemetry.Label("zipflm_serve_batch_steps_total", "batch", strconv.Itoa(b)))
+	}
+	return s
 }
 
-func (s *statsCollector) onAccept() {
-	s.mu.Lock()
-	s.accepted++
-	s.mu.Unlock()
-}
+func (s *statsCollector) onAccept() { s.accepted.Inc() }
 
 func (s *statsCollector) onShed(deadline bool) {
-	s.mu.Lock()
 	if deadline {
-		s.expired++
+		s.expired.Inc()
 	} else {
-		s.shed++
+		s.shed.Inc()
 	}
-	s.mu.Unlock()
 }
 
 // onExpire records an in-flight deadline expiry: a sequence that was
@@ -63,48 +80,37 @@ func (s *statsCollector) onShed(deadline bool) {
 // had produced. (Pre-service expiries go through onShed(true) — they
 // never cost a forward pass.)
 func (s *statsCollector) onExpire(discarded int) {
-	s.mu.Lock()
-	s.expired++
-	s.expiredInFlight++
-	s.discardedTokens += uint64(discarded)
-	s.mu.Unlock()
+	s.expired.Inc()
+	s.expiredInFlight.Inc()
+	s.discardedTokens.Add(int64(discarded))
 }
 
 func (s *statsCollector) onComplete(tokens int, latency time.Duration) {
-	s.mu.Lock()
-	s.completed++
-	s.tokens += uint64(tokens)
-	s.lat[s.latCount%latRingSize] = latency
-	s.latCount++
-	s.latSum += latency
-	s.mu.Unlock()
+	s.completed.Inc()
+	s.tokens.Add(int64(tokens))
+	s.lat.Observe(latency)
 }
 
 // onSpecRound records one speculative verify round: how many draft
 // proposals were offered and how many the target accepted.
 func (s *statsCollector) onSpecRound(proposed, accepted int) {
-	s.mu.Lock()
-	s.specRounds++
-	s.draftProposed += uint64(proposed)
-	s.draftAccepted += uint64(accepted)
-	s.mu.Unlock()
+	s.specRounds.Inc()
+	s.draftProposed.Add(int64(proposed))
+	s.draftAccepted.Add(int64(accepted))
 }
 
 // onDraftSteps records n draft model forward steps (proposals, lockstep
 // tracking, and prefix replays all count — the full overhead the draft
 // adds).
-func (s *statsCollector) onDraftSteps(n int) {
-	s.mu.Lock()
-	s.draftSteps += uint64(n)
-	s.mu.Unlock()
-}
+func (s *statsCollector) onDraftSteps(n int) { s.draftSteps.Add(int64(n)) }
 
 func (s *statsCollector) onBatchStep(b int) {
-	s.mu.Lock()
-	s.batches[b]++
-	s.batchSum += uint64(b)
-	s.stepCount++
-	s.mu.Unlock()
+	if b >= 0 && b < len(s.batches) {
+		s.batches[b].Inc()
+	}
+	s.batchSum.Add(int64(b))
+	s.stepCount.Inc()
+	s.occupancy.SetInt(int64(b))
 }
 
 // Snapshot is a point-in-time view of serving telemetry.
@@ -126,9 +132,10 @@ type Snapshot struct {
 	// Tokens is the total tokens delivered (cache hits count: they
 	// displaced generation work).
 	Tokens uint64
-	// LatencyP50/P99 are quantiles over the most recent window of
-	// completions (a bounded ring); LatencyMean averages every completion
-	// since the server started.
+	// LatencyP50/P99 are quantiles over every completion, read from the
+	// registry's log-bucket latency histogram (within ±1.6% relative
+	// error); LatencyMean averages every completion since the server
+	// started.
 	LatencyP50, LatencyP99, LatencyMean time.Duration
 	// MeanBatch is sequence-steps per model step — the batching factor
 	// actually achieved; BatchDist[b] is how many steps ran at batch b.
@@ -176,52 +183,34 @@ func (s Snapshot) HitRate() float64 {
 	return float64(s.ResultHits) / float64(total)
 }
 
-// snapshot assembles the exported view (cache counters are merged in by the
-// server, which owns the caches).
+// snapshot assembles the exported view from the registry instruments
+// (cache counters are merged in by the server, which owns the caches).
 func (s *statsCollector) snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := Snapshot{
 		Uptime:          time.Since(s.start),
-		Accepted:        s.accepted,
-		Completed:       s.completed,
-		Shed:            s.shed,
-		Expired:         s.expired,
-		ExpiredInFlight: s.expiredInFlight,
-		DiscardedTokens: s.discardedTokens,
-		Tokens:          s.tokens,
-		BatchDist:       append([]uint64(nil), s.batches...),
-		SpecRounds:      s.specRounds,
-		DraftProposed:   s.draftProposed,
-		DraftAccepted:   s.draftAccepted,
-		DraftSteps:      s.draftSteps,
+		Accepted:        uint64(s.accepted.Value()),
+		Completed:       uint64(s.completed.Value()),
+		Shed:            uint64(s.shed.Value()),
+		Expired:         uint64(s.expired.Value()),
+		ExpiredInFlight: uint64(s.expiredInFlight.Value()),
+		DiscardedTokens: uint64(s.discardedTokens.Value()),
+		Tokens:          uint64(s.tokens.Value()),
+		BatchDist:       make([]uint64, len(s.batches)),
+		SpecRounds:      uint64(s.specRounds.Value()),
+		DraftProposed:   uint64(s.draftProposed.Value()),
+		DraftAccepted:   uint64(s.draftAccepted.Value()),
+		DraftSteps:      uint64(s.draftSteps.Value()),
 	}
-	if s.stepCount > 0 {
-		out.MeanBatch = float64(s.batchSum) / float64(s.stepCount)
+	for b, c := range s.batches {
+		out.BatchDist[b] = uint64(c.Value())
 	}
-	n := int(s.latCount)
-	if n > latRingSize {
-		n = latRingSize
+	if steps := s.stepCount.Value(); steps > 0 {
+		out.MeanBatch = float64(s.batchSum.Value()) / float64(steps)
 	}
-	if n > 0 {
-		window := make([]time.Duration, n)
-		copy(window, s.lat[:n])
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		out.LatencyP50 = window[quantileIndex(n, 0.50)]
-		out.LatencyP99 = window[quantileIndex(n, 0.99)]
-		out.LatencyMean = s.latSum / time.Duration(s.latCount)
+	if n := s.lat.Count(); n > 0 {
+		out.LatencyP50 = time.Duration(s.lat.P50())
+		out.LatencyP99 = time.Duration(s.lat.P99())
+		out.LatencyMean = time.Duration(s.lat.Sum() / n)
 	}
 	return out
-}
-
-// quantileIndex maps a quantile to a sorted-sample index (nearest-rank).
-func quantileIndex(n int, q float64) int {
-	i := int(q*float64(n)+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= n {
-		i = n - 1
-	}
-	return i
 }

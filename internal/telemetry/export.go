@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative `_bucket{le=…}` series (empty buckets elided, `+Inf` always
+// present) plus `_sum` and `_count`. Labelled instruments sharing a family
+// emit one TYPE line per family, as the format requires. Registered
+// collectors run first.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, hists := r.collect()
+
+	typed := make(map[string]bool)
+	emitType := func(family, kind string) error {
+		if typed[family] {
+			return nil
+		}
+		typed[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+
+	for _, name := range counters {
+		family, _ := splitName(name)
+		if err := emitType(family, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		family, _ := splitName(name)
+		if err := emitType(family, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(r.Gauge(name).Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		h := r.hists[name]
+		family, labels := splitName(name)
+		if err := emitType(family, "histogram"); err != nil {
+			return err
+		}
+		counts, total := h.snapshot()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if c == 0 {
+				continue
+			}
+			_, hi := bucketBounds(i)
+			le := formatFloat(float64(hi) * h.factor)
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", family, labelPrefix(labels), le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labelPrefix(labels), total); err != nil {
+			return err
+		}
+		sumName, countName := family+"_sum", family+"_count"
+		if labels != "" {
+			sumName += "{" + labels + "}"
+			countName += "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", sumName, formatFloat(float64(h.Sum())*h.factor)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", countName, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelPrefix renders a raw label body as the prefix of a larger label
+// set ("" or `a="1",`).
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// formatFloat renders a float the compact way Prometheus clients expect.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistSnapshot is one histogram in the JSON snapshot.
+type HistSnapshot struct {
+	Unit  string  `json:"unit,omitempty"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Snapshot is the exported JSON view of a registry: every counter, gauge
+// and histogram by name, histograms reduced to count/sum/mean and the
+// standard quantiles, all in exported units.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values (collectors run first).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	counters, gauges, hists := r.collect()
+	for _, name := range counters {
+		snap.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range gauges {
+		snap.Gauges[name] = r.Gauge(name).Value()
+	}
+	for _, name := range hists {
+		h := r.hists[name]
+		f := h.factor
+		snap.Histograms[name] = HistSnapshot{
+			Unit:  h.unit,
+			Count: h.Count(),
+			Sum:   float64(h.Sum()) * f,
+			Mean:  h.Mean() * f,
+			P50:   float64(h.P50()) * f,
+			P99:   float64(h.P99()) * f,
+			P999:  float64(h.P999()) * f,
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the Snapshot as indented JSON (map keys sort, so the
+// output is deterministic for fixed values).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the registry: Prometheus text format by default,
+// the JSON snapshot with ?format=json — the `GET /metrics` endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

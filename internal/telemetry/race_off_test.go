@@ -1,0 +1,6 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled: see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports that this test binary was built with -race, whose
+// runtime instrumentation itself allocates — allocation guards are
+// meaningless there and skip themselves.
+const raceEnabled = true

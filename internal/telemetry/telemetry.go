@@ -1,0 +1,239 @@
+// Package telemetry is the unified observability layer: a metrics registry
+// of atomic counters, gauges and log-scale histograms, two exporters
+// (Prometheus text exposition and a JSON snapshot), and a span tracer that
+// stamps events with both wall time and the simulator's virtual clock
+// (trace.go), exporting Chrome trace_event JSON.
+//
+// The design contract mirrors the repository's exact-bits discipline:
+//
+//   - Observation never perturbs computation. Instruments only ever read
+//     or count; no code path consults a metric to make a decision, so
+//     every bit-identity suite holds with telemetry on or off.
+//
+//   - Telemetry off costs nothing measurable. Every record method is
+//     nil-receiver safe, and a nil *Registry hands out nil instruments,
+//     so an uninstrumented subsystem pays one predictable branch per
+//     call site — the same gating pattern collective.CostModel uses.
+//
+//   - The hot path never allocates. Counter.Add, Gauge.Set and
+//     Histogram.Record are a handful of atomic operations on fixed
+//     storage (testing.AllocsPerRun guards them); registry lookups happen
+//     once at wiring time, never per record.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter ignores updates (telemetry off).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically-set float64 value (queue depth, batch occupancy,
+// goodput). The zero value is ready; a nil Gauge ignores updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(n int64) { g.Set(float64(n)) }
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry owns a process's instruments by name. Instruments are created
+// on first request and shared thereafter; names follow Prometheus
+// conventions and may carry a label set in braces
+// (`zipflm_x_total{wire="fp16"}`), which the exporters group into one
+// metric family per base name. A nil *Registry hands out nil instruments,
+// which record nothing — the telemetry-off switch.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given unit
+// and export factor if needed (see NewHistogram). An existing histogram's
+// unit/factor are not altered.
+func (r *Registry) Histogram(name, unit string, factor float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(unit, factor)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Duration returns the named histogram configured for time.Duration
+// observations: nanosecond storage exported in seconds.
+func (r *Registry) Duration(name string) *Histogram {
+	return r.Histogram(name, "s", 1e-9)
+}
+
+// OnCollect registers a callback run before every export, for metrics
+// derived from state the registry does not own (cache counters, queue
+// length). Callbacks must only read and set instruments.
+func (r *Registry) OnCollect(f func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.mu.Unlock()
+}
+
+// collect runs the registered collectors and returns name-sorted views of
+// each instrument class.
+func (r *Registry) collect() (counters, gauges, hists []string) {
+	r.mu.Lock()
+	cbs := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, f := range cbs {
+		f()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}
+
+// Label appends one label pair to a metric name, composing with any labels
+// already present: Label(`m{a="1"}`, "b", "2") == `m{a="1",b="2"}`.
+func Label(name, key, value string) string {
+	if n := len(name); n > 0 && name[n-1] == '}' {
+		return name[:n-1] + `,` + key + `="` + value + `"}`
+	}
+	return name + `{` + key + `="` + value + `"}`
+}
+
+// splitName separates a possibly-labelled metric name into its family and
+// the raw label body (without braces, empty when unlabelled).
+func splitName(name string) (family, labels string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i], name[i+1 : len(name)-1]
+		}
+	}
+	return name, ""
+}
+
+// Timer is a convenience for timing a code region into a duration
+// histogram: h.Start() … defer/explicit Stop. Nil-safe like everything
+// else.
+type Timer struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins timing into h. On a nil histogram the returned Timer is
+// inert (Stop costs one branch, no clock read happens).
+func (h *Histogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, t0: time.Now()}
+}
+
+// Stop records the elapsed time since Start.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Record(int64(time.Since(t.t0)))
+}

@@ -1,0 +1,106 @@
+package trainer
+
+import (
+	"testing"
+
+	"zipflm/internal/core"
+	"zipflm/internal/perfmodel"
+	"zipflm/internal/telemetry"
+)
+
+// TestTelemetryBitIdentity: the same run with telemetry and tracing on must
+// produce bit-identical weights and losses to the uninstrumented run —
+// observation never perturbs computation.
+func TestTelemetryBitIdentity(t *testing.T) {
+	train, valid := smallData(60, 8000, 1)
+	run := func(reg *telemetry.Registry, tr *telemetry.Tracer) (Result, *Trainer) {
+		cfg := smallConfig(2, core.UniqueExchange{})
+		cfg.Telemetry = reg
+		cfg.Trace = tr
+		trn, err := New(cfg, train, valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := trn.Run(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trn
+	}
+
+	plainRes, plainTr := run(nil, nil)
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	obsRes, obsTr := run(reg, tracer)
+
+	if plainRes.FinalLoss != obsRes.FinalLoss {
+		t.Fatalf("final loss diverged: %v (off) != %v (on)", plainRes.FinalLoss, obsRes.FinalLoss)
+	}
+	a, b := plainTr.Model(0), obsTr.Model(0)
+	pa, pb := a.DenseParams(), b.DenseParams()
+	for i := range pa {
+		for j := range pa[i].Value {
+			if pa[i].Value[j] != pb[i].Value[j] {
+				t.Fatalf("weight %s[%d] diverged with telemetry on", pa[i].Name, j)
+			}
+		}
+	}
+
+	// And the instruments actually observed the run.
+	steps := reg.Counter("zipflm_train_steps_total").Value()
+	if steps != int64(obsRes.Stats.Steps) {
+		t.Fatalf("steps counter %d != result steps %d", steps, obsRes.Stats.Steps)
+	}
+	if got := reg.Duration("zipflm_train_compute_seconds").Count(); got != steps {
+		t.Fatalf("compute histogram has %d observations, want %d", got, steps)
+	}
+	arName := telemetry.Label(telemetry.Label("zipflm_collective_calls_total", "op", "allreduce"), "wire", "fp32")
+	if reg.Counter(arName).Value() == 0 {
+		t.Fatal("communicator telemetry not attached: no all-reduce calls recorded")
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+}
+
+// TestTraceVirtualDurationsSumToStepStats: the acceptance contract — the
+// trace's per-phase virtual durations, summed in record order, reproduce
+// the trainer's SimComputeSeconds / SimSyncSeconds bitwise (Run accumulates
+// the identical float64 values in the identical order).
+func TestTraceVirtualDurationsSumToStepStats(t *testing.T) {
+	hw := perfmodel.TitanX()
+	cfg, train, valid := simConfig(&hw)
+	tracer := telemetry.NewTracer(0)
+	cfg.Trace = tracer
+	cfg.Telemetry = telemetry.NewRegistry()
+	trn, err := New(cfg, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trn.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SimComputeSeconds <= 0 || res.Stats.SimSyncSeconds <= 0 {
+		t.Fatalf("expected positive virtual phase times, got %v/%v",
+			res.Stats.SimComputeSeconds, res.Stats.SimSyncSeconds)
+	}
+
+	var vCompute, vSync float64
+	for _, e := range tracer.Events() {
+		switch e.Name {
+		case "compute":
+			vCompute += e.VDur
+		case "sync":
+			vSync += e.VDur
+		}
+	}
+	if vCompute != res.Stats.SimComputeSeconds {
+		t.Errorf("trace compute vdur sum %v != SimComputeSeconds %v (must be bitwise equal)",
+			vCompute, res.Stats.SimComputeSeconds)
+	}
+	if vSync != res.Stats.SimSyncSeconds {
+		t.Errorf("trace sync vdur sum %v != SimSyncSeconds %v (must be bitwise equal)",
+			vSync, res.Stats.SimSyncSeconds)
+	}
+}

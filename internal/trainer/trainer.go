@@ -35,6 +35,7 @@ import (
 	"zipflm/internal/optim"
 	"zipflm/internal/perfmodel"
 	"zipflm/internal/sampling"
+	"zipflm/internal/telemetry"
 	"zipflm/internal/tensor"
 	"zipflm/internal/vclock"
 )
@@ -160,6 +161,17 @@ type Config struct {
 	// bypasses the compressed path, so a combined run would silently train
 	// uncompressed.
 	Compress *compress.Config
+	// Telemetry, when non-nil, publishes the trainer's step/phase metrics
+	// (and the communicator's and checkpoint store's) into the registry.
+	// Purely observational: the trajectory is bit-identical with or
+	// without it (tested), and nil keeps every hot path uninstrumented.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records one span per step phase (compute, sync)
+	// plus checkpoint saves and fault rollbacks, each stamped with wall
+	// time and the virtual clock. Summing the compute/sync spans' virtual
+	// durations reproduces StepStats.SimComputeSeconds / SimSyncSeconds
+	// exactly. Export with Tracer.WriteChromeTrace.
+	Trace *telemetry.Tracer
 }
 
 // EvalPoint is one validation measurement.
@@ -261,6 +273,9 @@ type Trainer struct {
 	ckptDir  *ckpt.Dir
 	lastCkpt *ckpt.State
 	ftStats  FaultStats
+	// tel holds the resolved telemetry instruments (nil when
+	// Config.Telemetry is nil).
+	tel *trainerTelemetry
 }
 
 // FaultStats aggregates the fault-tolerance side of a run: how many
@@ -311,6 +326,10 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	}
 	if cfg.BucketBytes > 0 {
 		t.comm.SetBucketBytes(cfg.BucketBytes)
+	}
+	if cfg.Telemetry != nil {
+		t.tel = newTrainerTelemetry(cfg.Telemetry)
+		t.comm.AttachTelemetry(cfg.Telemetry)
 	}
 	if cfg.Hardware != nil {
 		if cfg.Overlap {
@@ -397,6 +416,7 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trainer: %w", err)
 		}
+		dir.Instrument(cfg.Telemetry)
 		t.ckptDir = dir
 	}
 	if cfg.Faults != nil {
@@ -541,6 +561,8 @@ func (t *Trainer) RestoreState(st *ckpt.State) error {
 // span.
 func (t *Trainer) afterStep() (rolledBack bool, err error) {
 	if t.cfg.CheckpointEvery > 0 && t.step%t.cfg.CheckpointEvery == 0 {
+		ckptStart := time.Now()
+		vtsBefore := t.clu.MaxClock()
 		st, err := t.CaptureState()
 		if err != nil {
 			return false, err
@@ -556,6 +578,11 @@ func (t *Trainer) afterStep() (rolledBack bool, err error) {
 			vclock.SyncAdvance(t.clu.Clocks(), t.cfg.SimCheckpointSeconds)
 			t.ftStats.SimCheckpointSeconds += t.cfg.SimCheckpointSeconds
 		}
+		if t.tel != nil {
+			t.tel.checkpoints.Inc()
+		}
+		t.cfg.Trace.Span("train", "checkpoint", 0, ckptStart, time.Since(ckptStart),
+			vtsBefore, t.clu.MaxClock()-vtsBefore)
 	}
 	if t.cfg.Faults != nil {
 		for {
@@ -570,8 +597,10 @@ func (t *Trainer) afterStep() (rolledBack bool, err error) {
 			// recovery. Virtual time never rewinds — the lost span stays on
 			// the clock as wasted time, which is exactly what goodput
 			// measures.
+			lost := t.step - t.lastCkpt.Step
 			t.ftStats.Faults++
-			t.ftStats.LostSteps += t.step - t.lastCkpt.Step
+			t.ftStats.LostSteps += lost
+			t.cfg.Trace.Instant("train", "fault-rollback", 0, time.Now(), now)
 			if err := t.RestoreState(t.lastCkpt); err != nil {
 				return true, err
 			}
@@ -579,6 +608,11 @@ func (t *Trainer) afterStep() (rolledBack bool, err error) {
 			if t.cfg.SimRestartSeconds > 0 {
 				vclock.SyncAdvance(t.clu.Clocks(), t.cfg.SimRestartSeconds)
 				t.ftStats.SimRestartSeconds += t.cfg.SimRestartSeconds
+			}
+			if t.tel != nil {
+				t.tel.faults.Inc()
+				t.tel.lostSteps.Add(int64(lost))
+				t.tel.goodput.Set(t.goodputRatio())
 			}
 		}
 	}
@@ -787,6 +821,10 @@ type stepStats struct {
 	inUnique, outUnique   int
 	computeTime, syncTime time.Duration
 	simCompute, simSync   float64
+	// simStart / simAfterCompute are the virtual-clock positions at the
+	// start of each phase, carried so trace spans can place their virtual
+	// timestamps (zero without Hardware).
+	simStart, simAfterCompute float64
 }
 
 // trainStep executes one synchronous step across all ranks.
@@ -808,9 +846,8 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	var agg stepStats
 
 	sim := t.cfg.Hardware
-	var simStart float64
 	if sim != nil {
-		simStart = t.clu.MaxClock()
+		agg.simStart = t.clu.MaxClock()
 	}
 
 	// Phase 1 (parallel): forward/backward on every rank, with dense
@@ -859,11 +896,11 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 		return agg, err
 	}
 	agg.computeTime = time.Since(phaseStart)
-	var simAfterCompute float64
 	if sim != nil {
-		simAfterCompute = t.clu.MaxClock()
-		agg.simCompute = simAfterCompute - simStart
+		agg.simAfterCompute = t.clu.MaxClock()
+		agg.simCompute = agg.simAfterCompute - agg.simStart
 	}
+	computeStart := phaseStart
 	phaseStart = time.Now()
 
 	// Phase 2 (parallel): synchronize and update.
@@ -1003,7 +1040,10 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	agg.outUnique = outStats[0].UniqueGlobal
 	agg.syncTime = time.Since(phaseStart)
 	if sim != nil {
-		agg.simSync = t.clu.MaxClock() - simAfterCompute
+		agg.simSync = t.clu.MaxClock() - agg.simAfterCompute
+	}
+	if t.tel != nil || t.cfg.Trace != nil {
+		t.observeStep(computeStart, phaseStart, agg)
 	}
 	return agg, nil
 }

@@ -75,6 +75,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "reproducibility seed")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the simulated-cluster experiments to this path")
+		flightCap = flag.Int("flight", 0, "flight-recorder ring capacity for training-based experiments; dumped on fault rollback or SIGQUIT (0 disables)")
 		workers   = flag.Int("workers", 0, "goroutines per matmul in training-based experiments (0: ZIPFLM_WORKERS or serial; results identical at any value)")
 	)
 	flag.Parse()
@@ -99,6 +100,10 @@ func main() {
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	if *tracePath != "" {
 		opts.Trace = telemetry.NewTracer(0)
+	}
+	if *flightCap > 0 {
+		opts.Flight = telemetry.NewFlight(*flightCap)
+		defer opts.Flight.ArmSIGQUIT()()
 	}
 	ids := experiments.IDs()
 	if *exp != "all" {

@@ -74,6 +74,10 @@ func main() {
 		draftK    = flag.Int("draft-k", 4, "speculative lookahead tokens per round (with -draft)")
 		watch     = flag.Duration("watch", 0, "poll the -model checkpoint directory at this interval and hot-reload new checkpoints (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (empty disables)")
+		tracePath = flag.String("trace", "", "write per-request Chrome trace spans here on shutdown (view in Perfetto or zipflm-trace)")
+		flightCap = flag.Int("flight", telemetry.DefaultFlightEvents, "flight-recorder ring capacity (0 disables; dumps on overload or SIGQUIT)")
+		sloP99    = flag.Duration("slo-p99", 500*time.Millisecond, "p99 latency SLO target (0 disables the latency objective)")
+		sloAvail  = flag.Float64("slo-availability", 0.99, "availability SLO target in (0,1) (0 disables)")
 		loadN     = flag.Int("loadgen", 0, "run N closed-loop requests in-process instead of serving HTTP")
 		clients   = flag.Int("clients", 8, "loadgen concurrency")
 		tokens    = flag.Int("tokens", 24, "loadgen tokens per request")
@@ -119,20 +123,35 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = telemetry.NewTracer(0)
+		reg.ObserveTracer(tracer)
+	}
+	var flight *telemetry.Flight
+	if *flightCap > 0 {
+		flight = telemetry.NewFlight(*flightCap)
+		defer flight.ArmSIGQUIT()()
+	}
 	srv := serve.New(m, serve.Config{
-		Workers:        *workers,
-		ComputeWorkers: *computeW,
-		MaxBatch:       *maxBatch,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		PrefixEntries:  *prefixes,
-		BatchWindow:    *window,
-		Quantized:      *quantized,
-		Draft:          draft,
-		DraftK:         *draftK,
-		Telemetry:      reg,
+		Workers:         *workers,
+		ComputeWorkers:  *computeW,
+		MaxBatch:        *maxBatch,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		PrefixEntries:   *prefixes,
+		BatchWindow:     *window,
+		Quantized:       *quantized,
+		Draft:           draft,
+		DraftK:          *draftK,
+		Telemetry:       reg,
+		Tracer:          tracer,
+		Flight:          flight,
+		SLOTargetP99:    *sloP99,
+		SLOAvailability: *sloAvail,
 	})
 	defer srv.Close()
+	defer writeTrace(tracer, *tracePath)
 
 	if *debugAddr != "" {
 		// The pprof import registers only on DefaultServeMux, which the
@@ -470,6 +489,7 @@ func statsJSON(s serve.Snapshot, weights *weightsInfo) map[string]any {
 		"draft_accepted":    s.DraftAccepted,
 		"draft_steps":       s.DraftSteps,
 		"acceptance_rate":   s.SpecAcceptanceRate(),
+		"slo":               s.SLO,
 		"checkpoint": map[string]any{
 			"source":    source,
 			"step":      step,
@@ -504,6 +524,25 @@ func runLoadgen(srv *serve.Server, m *model.LM, requests, clients, tokens int, z
 		fmt.Sprintf("%.0f", 100*snap.HitRate()),
 	)
 	fmt.Print(tab)
+}
+
+// writeTrace dumps the per-request spans collected over the server's
+// lifetime (runs on shutdown, after the serve layer drained).
+func writeTrace(tracer *telemetry.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zipflm-serve: trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "zipflm-serve: trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "zipflm-serve: wrote %d trace events to %s\n", tracer.Len(), path)
 }
 
 func fatal(err error) {

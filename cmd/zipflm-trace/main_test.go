@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var small = filepath.Join("..", "..", "internal", "traceview", "testdata", "small.json")
+var golden = filepath.Join("..", "..", "internal", "traceview", "testdata", "small.golden")
+
+func TestSummaryMatchesGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{small}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("CLI output drifted from traceview golden:\n%s", out.String())
+	}
+}
+
+func TestDiffSameTraceExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", small, small}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Fatalf("diff of a trace against itself:\n%s", out.String())
+	}
+}
+
+func TestUsageAndParseErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("no-args exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("no usage on stderr: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"does-not-exist.json"}, &out, &errb); code != 1 {
+		t.Fatalf("missing-file exit %d, want 1", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-diff", small}, &out, &errb); code != 1 {
+		t.Fatalf("-diff with one arg exit %d, want 1", code)
+	}
+}

@@ -12,7 +12,8 @@
 // /metrics (Prometheus text format) while training; -trace FILE writes a
 // Chrome trace_event JSON timeline (load it in chrome://tracing or
 // Perfetto) whose spans carry both wall time and the simulated cluster's
-// virtual clock.
+// virtual clock; -flight N keeps a bounded in-memory ring of the last N
+// anomaly log records, dumped to stderr on fault rollback or SIGQUIT.
 package main
 
 import (
@@ -72,6 +73,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines per matmul (0: ZIPFLM_WORKERS or serial; losses and weights identical at any value)")
 		metricsAt = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (empty disables)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file on exit (empty disables)")
+		flightCap = flag.Int("flight", telemetry.DefaultFlightEvents, "flight-recorder ring capacity; dumped on fault rollback or SIGQUIT (0 disables)")
 	)
 	flag.Parse()
 
@@ -168,6 +170,13 @@ func main() {
 	if *tracePath != "" {
 		tracer = telemetry.NewTracer(0)
 		cfg.Trace = tracer
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.ObserveTracer(tracer)
+		}
+	}
+	if *flightCap > 0 {
+		cfg.Flight = telemetry.NewFlight(*flightCap)
+		defer cfg.Flight.ArmSIGQUIT()()
 	}
 	if *metricsAt != "" {
 		go func() {

@@ -165,4 +165,19 @@
 // identical weights, losses and tokens. Surfaces: zipflm-serve GET
 // /metrics and -debug-addr (net/http/pprof), zipflm-train -metrics-addr
 // and -trace, zipflm-bench -trace, and examples/observability.
+//
+// Three analysis layers sit on top. Traces carry per-rank and
+// per-collective spans, and internal/traceview computes the per-step
+// critical path on the virtual clock — straggler rank, wire vs sync-wait
+// seconds, per-rank utilization — with totals that reconcile bitwise
+// against the trainer's accounting through the JSON file; cmd/zipflm-trace
+// is the CLI (summary, top spans, -diff with a nonzero exit on
+// regression). telemetry.SLO evaluates declared objectives (p99 latency,
+// availability) straight off the registry's histograms and counters with
+// multi-window error-budget burn rates, published as zipflm_slo_* gauges
+// and on the serving /v1/stats snapshot. telemetry.Flight is an always-on
+// lock-free ring of pre-rendered log/slog records — the last N anomalies
+// — dumped on trainer fault rollback, serve overload shed, or SIGQUIT.
+// All three inherit the layer's contract: the bit-identity suites run
+// with tracing, SLOs and flight recording enabled simultaneously.
 package zipflm

@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"time"
 
 	"zipflm/internal/core"
 	"zipflm/internal/corpus"
@@ -27,6 +28,7 @@ import (
 	"zipflm/internal/sampling"
 	"zipflm/internal/serve"
 	"zipflm/internal/telemetry"
+	"zipflm/internal/traceview"
 	"zipflm/internal/trainer"
 )
 
@@ -69,10 +71,12 @@ func main() {
 		res.Stats.Steps, res.FinalLoss, tr.SimSeconds())
 
 	// The trace's per-phase virtual durations reproduce the trainer's
-	// accounting exactly — the acceptance contract of the tracer.
+	// accounting exactly — the acceptance contract of the tracer. Only the
+	// aggregate "train" spans count: the per-rank spans (cat "rank") carry
+	// the same names and would double-count.
 	var vCompute float64
 	for _, e := range tracer.Events() {
-		if e.Name == "compute" {
+		if e.Cat == "train" && e.Name == "compute" {
 			vCompute += e.VDur
 		}
 	}
@@ -85,12 +89,24 @@ func main() {
 	}
 	fmt.Println("wrote trace.json — open it in chrome://tracing or https://ui.perfetto.dev")
 
+	// --- Analyze the trace we just wrote (what zipflm-trace does). -------
+	parsed, err := traceview.ParseFile("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncritical-path analysis of trace.json (zipflm-trace trace.json):")
+	traceview.WriteSummary(os.Stdout, parsed, traceview.Analyze(parsed), traceview.SummaryOptions{TopN: 3, MaxSteps: 4})
+
 	// --- Serve on the same registry and scrape /metrics. ----------------
 	srv := serve.New(tr.Model(0), serve.Config{
 		Workers:      1,
 		MaxBatch:     8,
 		CacheEntries: 64,
 		Telemetry:    reg,
+		// SLOs evaluate straight off the registry's latency histogram and
+		// completion counters — generous targets a healthy run must meet.
+		SLOTargetP99:    2 * time.Second,
+		SLOAvailability: 0.99,
 	})
 	defer srv.Close()
 	req := serve.Request{Prompt: []int{3, 1, 4}, N: 8, Opts: sampling.DecodeOpts{Temperature: 0.8}, Seed: 5}
@@ -129,8 +145,12 @@ func main() {
 			}
 		}
 	}
+	snap := srv.Stats()
 	fmt.Printf("\nserving snapshot (same instruments): completed=%d hit rate=%.0f%% p50=%v\n",
-		srv.Stats().Completed, 100*srv.Stats().HitRate(), srv.Stats().LatencyP50)
+		snap.Completed, 100*snap.HitRate(), snap.LatencyP50)
+	for _, st := range snap.SLO {
+		fmt.Println(st.String())
+	}
 }
 
 func writeTrace(tr *telemetry.Tracer, path string) error {

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"zipflm/internal/telemetry"
 )
 
 // Wire models a lossy wire precision for float payloads. Every synchronous
@@ -123,6 +125,12 @@ type Comm struct {
 	// telemetry registry (telemetry.go). Purely observational: nil keeps
 	// every operation on the exact uninstrumented code path.
 	tel *commTelemetry
+
+	// trace, when non-nil, records one span per synchronous collective per
+	// rank (cat "collective", tid = rank), stamped with wall time and the
+	// rank's virtual clock — the per-op detail the critical-path analyzer
+	// attributes wire time from. Purely observational, like tel.
+	trace *telemetry.Tracer
 }
 
 // Stats tallies traffic a single rank has sent, by operation.
@@ -451,8 +459,10 @@ func (c *Comm) ringAllReduce(ring []chan []float32, rank int, parts [][]float32,
 // x immediately.
 func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
 	var t0 time.Time
-	if c.tel != nil {
+	var v0 float64
+	if c.tel != nil || c.trace != nil {
 		t0 = time.Now()
+		v0 = c.clockNow(rank)
 	}
 	var parts [1][]float32
 	parts[0] = x
@@ -468,6 +478,7 @@ func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
 	if c.tel != nil {
 		c.tel.record("allreduce", wireLabel(wire), 1, bytes, int64(time.Since(t0)))
 	}
+	c.traceOp("allreduce", rank, t0, v0)
 }
 
 // AllGatherInts gathers each rank's (possibly different-length) int slice;
@@ -476,8 +487,10 @@ func (c *Comm) AllReduce(rank int, x []float32, wire Wire) {
 // copies owned by the caller (the blackboard stash itself is pooled).
 func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 	var t0 time.Time
-	if c.tel != nil {
+	var v0 float64
+	if c.tel != nil || c.trace != nil {
 		t0 = time.Now()
+		v0 = c.clockNow(rank)
 	}
 	c.stashInts(rank, local)
 	c.barrier.Wait()
@@ -511,6 +524,7 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 	if c.tel != nil {
 		c.tel.record("allgather_ints", "int32", 1, bytes, int64(time.Since(t0)))
 	}
+	c.traceOp("allgather_ints", rank, t0, v0)
 	return out
 }
 
@@ -519,8 +533,10 @@ func (c *Comm) AllGatherInts(rank int, local []int) [][]int {
 // result materializes G dense gradient blocks on every rank.
 func (c *Comm) AllGatherFloats(rank int, local []float32, wire Wire) [][]float32 {
 	var t0 time.Time
-	if c.tel != nil {
+	var v0 float64
+	if c.tel != nil || c.trace != nil {
 		t0 = time.Now()
+		v0 = c.clockNow(rank)
 	}
 	c.stashFloats(rank, local, wire)
 	c.barrier.Wait()
@@ -553,6 +569,7 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire Wire) [][]float32
 	if c.tel != nil {
 		c.tel.record("allgather_floats", wireLabel(wire), 1, bytes, int64(time.Since(t0)))
 	}
+	c.traceOp("allgather_floats", rank, t0, v0)
 	return out
 }
 
@@ -560,8 +577,10 @@ func (c *Comm) AllGatherFloats(rank int, local []float32, wire Wire) [][]float32
 // which must have the root's length).
 func (c *Comm) Broadcast(rank, root int, x []float32) {
 	var t0 time.Time
-	if c.tel != nil {
+	var v0 float64
+	if c.tel != nil || c.trace != nil {
 		t0 = time.Now()
+		v0 = c.clockNow(rank)
 	}
 	if rank == root {
 		c.stashFloats(root, x, nil)
@@ -598,6 +617,7 @@ func (c *Comm) Broadcast(rank, root int, x []float32) {
 		}
 		c.tel.record("broadcast", "fp32", 1, bytes, int64(time.Since(t0)))
 	}
+	c.traceOp("broadcast", rank, t0, v0)
 }
 
 // AgreeAllOK is a control-plane consensus: every rank reports a boolean and

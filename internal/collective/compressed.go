@@ -71,8 +71,10 @@ func (c *Comm) putByteBuf(p *[]byte) { c.byteBuf.Put(p) }
 // by the caller.
 func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
 	var t0 time.Time
-	if c.tel != nil {
+	var v0 float64
+	if c.tel != nil || c.trace != nil {
 		t0 = time.Now()
+		v0 = c.clockNow(rank)
 	}
 	c.stashBytes(rank, local)
 	c.barrier.Wait()
@@ -104,6 +106,7 @@ func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
 	if c.tel != nil {
 		c.tel.record("allgather_bytes", "bytes", 1, bytes, int64(time.Since(t0)))
 	}
+	c.traceOp("allgather_bytes", rank, t0, v0)
 	return out
 }
 
@@ -122,8 +125,10 @@ func (c *Comm) AllGatherBytes(rank int, local []byte) [][]byte {
 // communication time.
 func (c *Comm) AllReduceCompressed(rank int, x []float32, payload []byte, dec Decoder) error {
 	var t0 time.Time
-	if c.tel != nil {
+	var v0 float64
+	if c.tel != nil || c.trace != nil {
 		t0 = time.Now()
+		v0 = c.clockNow(rank)
 	}
 	c.stashBytes(rank, payload)
 	c.barrier.Wait()
@@ -168,5 +173,6 @@ func (c *Comm) AllReduceCompressed(rank int, x []float32, payload []byte, dec De
 	if c.tel != nil {
 		c.tel.record("allreduce_compressed", "bytes", 1, bytes, int64(time.Since(t0)))
 	}
+	c.traceOp("allreduce_compressed", rank, t0, v0)
 	return err
 }

@@ -2,6 +2,7 @@ package collective
 
 import (
 	"sync"
+	"time"
 
 	"zipflm/internal/telemetry"
 )
@@ -55,6 +56,35 @@ func (c *Comm) AttachTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	c.tel = &commTelemetry{reg: reg, ops: make(map[opKey]*opInst)}
+}
+
+// AttachTrace wires the communicator's synchronous collectives into a span
+// tracer: every operation emits one span per rank (cat "collective", tid =
+// rank) whose virtual-clock duration covers the rank's whole participation
+// — wire time plus barrier wait — read from the attached cost model's
+// clocks (zero without AttachCost). Async buckets are not traced: they
+// complete at scheduler-dependent times the virtual clock deliberately
+// does not price. nil detaches. Purely observational, like AttachTelemetry.
+func (c *Comm) AttachTrace(tr *telemetry.Tracer) {
+	c.trace = tr
+}
+
+// clockNow reads rank's virtual clock (0 without a cost model). Safe at
+// operation entry and after the closing charge: clocks are only written by
+// the cost model's charge section, which every rank is barriered around.
+func (c *Comm) clockNow(rank int) float64 {
+	if c.cost == nil || rank >= len(c.cost.Clocks) {
+		return 0
+	}
+	return c.cost.Clocks[rank].Now()
+}
+
+// traceOp emits one completed collective span for rank.
+func (c *Comm) traceOp(op string, rank int, t0 time.Time, v0 float64) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Span("collective", op, rank, t0, time.Since(t0), v0, c.clockNow(rank)-v0)
 }
 
 // inst returns the cached instrument set for (op, wire).

@@ -35,10 +35,15 @@ type Options struct {
 	// Seed makes every experiment reproducible.
 	Seed uint64
 	// Trace, when non-nil, collects span timelines from the experiments
-	// that train over the simulated cluster (currently the fault-injection
-	// sweep) — export it with telemetry.Tracer.WriteChromeTrace. Purely
-	// observational; results are identical with or without it.
+	// that train over the simulated cluster (the fault-injection sweep and
+	// the weak-scaling sweep) — export it with
+	// telemetry.Tracer.WriteChromeTrace. Purely observational; results are
+	// identical with or without it.
 	Trace *telemetry.Tracer
+	// Flight, when non-nil, receives anomaly records (fault injections,
+	// rollbacks) from the training-based experiments; dump it with
+	// telemetry.Flight.Trigger or SIGQUIT. Purely observational.
+	Flight *telemetry.Flight
 }
 
 // DefaultOptions returns the standard configuration.

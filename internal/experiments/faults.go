@@ -109,6 +109,7 @@ func runFaults(opts Options) (*Report, error) {
 		cfg.SimCheckpointSeconds = delta
 		cfg.SimRestartSeconds = restart
 		cfg.Trace = opts.Trace
+		cfg.Flight = opts.Flight
 		// Horizon with slack: overheads and replays stretch the run well
 		// past the ideal time; events past the actual end stay unconsumed.
 		horizon := float64(committed) * stepSec * 20

@@ -55,8 +55,12 @@ func runServing(opts Options) (*Report, error) {
 	shapes := []shape{
 		{"sequential", serve.Config{MaxBatch: 1, QueueDepth: load.Clients}},
 		{"batched", serve.Config{MaxBatch: 16, QueueDepth: load.Clients}},
+		// The full shape also declares SLOs — generous enough that a healthy
+		// run must be compliant, so a violation below flags a real
+		// regression rather than noise.
 		{"batched+cache", serve.Config{MaxBatch: 16, QueueDepth: load.Clients,
-			CacheEntries: 256, PrefixEntries: 128}},
+			CacheEntries: 256, PrefixEntries: 128,
+			SLOTargetP99: 5 * time.Second, SLOAvailability: 0.99}},
 	}
 
 	tab := metrics.NewTable("Closed-loop Zipf load, one worker replica:",
@@ -105,6 +109,15 @@ func runServing(opts Options) (*Report, error) {
 			if rep.Shed+rep.Expired > 0 {
 				notes = append(notes, fmt.Sprintf(
 					"WARNING: %d requests shed under closed-loop load with queue ≥ clients", rep.Shed+rep.Expired))
+			}
+			if len(snap.SLO) == 0 {
+				return nil, fmt.Errorf("serving: %s declared SLOs but the snapshot has none", sh.name)
+			}
+			for _, st := range snap.SLO {
+				if !st.Compliant {
+					return nil, fmt.Errorf("serving: SLO violated under healthy closed-loop load: %s", st.String())
+				}
+				notes = append(notes, st.String())
 			}
 		}
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"zipflm/internal/cluster"
 	"zipflm/internal/collective"
@@ -277,6 +278,7 @@ func runWeakScale(opts Options) (*Report, error) {
 	var lastRunning [2]weakRun
 	var lastRunningG [2]int
 	oomWall := 0
+	vcursor := 0.0 // virtual-clock cursor for the emitted trace timeline
 	for _, g := range gpus {
 		for ei, baseline := range []bool{true, false} {
 			name := "baseline-allgather"
@@ -293,6 +295,17 @@ func runWeakScale(opts Options) (*Report, error) {
 				}
 				tab.AddRow(fmt.Sprint(g), name, "-", "*(OOM)", "-", "-", "-", "-", "*(OOM)", "-")
 				continue
+			}
+			if opts.Trace != nil {
+				// Each non-OOM cell becomes one aggregate trace step:
+				// compute, then everything synchronization-shaped (comm +
+				// update + overhead). zipflm-trace analyzes aggregate-only
+				// traces via the envelope path (no per-rank attribution).
+				syncSec := run.commSec + run.updateSec + run.overheadSec
+				opts.Trace.Span("train", "compute", 0, time.Now(), 0, vcursor, run.computeSec)
+				opts.Trace.Span("train", "sync", 0, time.Now(), 0, vcursor+run.computeSec, syncSec)
+				opts.Trace.Instant("train", fmt.Sprintf("weakscale %s g=%d", name, g), 0, time.Now(), vcursor)
+				vcursor += run.computeSec + syncSec
 			}
 			if anchorStep[ei] == 0 {
 				anchorStep[ei] = run.stepSec

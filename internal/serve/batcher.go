@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -589,6 +590,8 @@ func (w *worker) expire(now time.Time) {
 		if d := q.t.req.Deadline; !d.IsZero() && now.After(d) {
 			w.s.stats.onExpire(len(q.out))
 			w.s.tracer.Instant("serve", "expired", w.id, now, 0)
+			w.s.flight.Record(slog.LevelWarn, "in-flight request expired",
+				"worker", w.id, "discarded_tokens", len(q.out), "n", q.t.req.N)
 			q.t.done <- taskDone{err: ErrDeadlineExceeded}
 			continue
 		}

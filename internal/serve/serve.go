@@ -30,6 +30,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +146,20 @@ type Config struct {
 	// decode) and shed/expire instants. Purely observational: responses
 	// are bit-identical with tracing on or off.
 	Tracer *telemetry.Tracer
+	// SLOTargetP99, when positive, declares a latency objective: the p99
+	// completion latency must stay at or below this. Evaluated from the
+	// registry's latency histogram, surfaced in Stats().SLO and published
+	// to /metrics as zipflm_slo_* gauges.
+	SLOTargetP99 time.Duration
+	// SLOAvailability, when in (0,1), declares an availability objective:
+	// at least this fraction of requests must complete (sheds and expiries
+	// are the bad events).
+	SLOAvailability float64
+	// Flight, when non-nil, is the structured flight recorder overload
+	// anomalies are logged into: sheds and expiries record context, and a
+	// queue-full shed triggers a (rate-limited) ring dump. Purely
+	// observational, like Tracer.
+	Flight *telemetry.Flight
 }
 
 // withDefaults fills zero fields.
@@ -196,6 +211,8 @@ type Server struct {
 	stats   *statsCollector
 	reg     *telemetry.Registry
 	tracer  *telemetry.Tracer
+	slo     *telemetry.SLO
+	flight  *telemetry.Flight
 	results *lruCache
 	prefix  *lruCache
 	workers []*worker
@@ -234,6 +251,7 @@ func New(m *model.LM, cfg Config) *Server {
 		stats:   newStatsCollector(cfg.MaxBatch, reg),
 		reg:     reg,
 		tracer:  cfg.Tracer,
+		flight:  cfg.Flight,
 		results: newLRUCache(cfg.CacheEntries),
 		prefix:  newLRUCache(cfg.PrefixEntries),
 	}
@@ -267,6 +285,26 @@ func New(m *model.LM, cfg Config) *Server {
 		pEntries.SetInt(int64(n))
 		weightVer.SetInt(int64(s.version.Load()))
 	})
+	if cfg.SLOTargetP99 > 0 || (cfg.SLOAvailability > 0 && cfg.SLOAvailability < 1) {
+		s.slo = telemetry.NewSLO()
+		if cfg.SLOTargetP99 > 0 {
+			s.slo.Add(telemetry.Objective{
+				Name:          "latency_p99",
+				Hist:          s.stats.lat,
+				Quantile:      0.99,
+				TargetSeconds: cfg.SLOTargetP99.Seconds(),
+			})
+		}
+		if cfg.SLOAvailability > 0 && cfg.SLOAvailability < 1 {
+			s.slo.Add(telemetry.Objective{
+				Name:   "availability",
+				Good:   []*telemetry.Counter{s.stats.completed},
+				Bad:    []*telemetry.Counter{s.stats.shed, s.stats.expired},
+				Target: cfg.SLOAvailability,
+			})
+		}
+		s.slo.Publish(reg)
+	}
 	if cfg.ComputeWorkers > 0 {
 		s.backend = tensor.New(cfg.ComputeWorkers)
 	}
@@ -413,6 +451,8 @@ func (s *Server) Submit(req Request) (*Result, error) {
 	if !req.Deadline.IsZero() && start.After(req.Deadline) {
 		s.stats.onShed(true)
 		s.tracer.Instant("serve", "expired", 0, start, 0)
+		s.flight.Record(slog.LevelWarn, "request expired at admission",
+			"deadline_ago", start.Sub(req.Deadline).String(), "n", req.N, "prompt_len", len(req.Prompt))
 		return nil, ErrDeadlineExceeded
 	}
 
@@ -452,6 +492,9 @@ func (s *Server) Submit(req Request) (*Result, error) {
 		s.mu.RUnlock()
 		s.stats.onShed(false)
 		s.tracer.Instant("serve", "shed", 0, time.Now(), 0)
+		s.flight.Record(slog.LevelWarn, "request shed: queue full",
+			"queue_depth", s.cfg.QueueDepth, "n", req.N, "prompt_len", len(req.Prompt))
+		s.flight.Trigger("overload-shed")
 		return nil, ErrOverloaded
 	}
 
@@ -473,9 +516,15 @@ func (s *Server) Submit(req Request) (*Result, error) {
 // it with telemetry.Handler to expose /metrics.
 func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
 
-// Stats returns current serving telemetry.
+// Stats returns current serving telemetry, including the evaluation of any
+// declared SLOs (Snapshot.SLO).
 func (s *Server) Stats() Snapshot {
 	snap := s.stats.snapshot()
+	if s.slo != nil {
+		now := time.Now()
+		s.slo.Tick(now)
+		snap.SLO = s.slo.Evaluate(now)
+	}
 	snap.ResultHits, snap.ResultMisses, snap.ResultEvicted, snap.ResultEntries = s.results.counters()
 	snap.PrefixHits, snap.PrefixMisses, snap.PrefixEvicted, snap.PrefixEntries = s.prefix.counters()
 	snap.WeightsVersion = s.version.Load()

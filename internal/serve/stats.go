@@ -163,6 +163,9 @@ type Snapshot struct {
 	DraftProposed uint64
 	DraftAccepted uint64
 	DraftSteps    uint64
+	// SLO holds the evaluation of every declared objective (nil when the
+	// server was configured without SLOs).
+	SLO []telemetry.Status
 }
 
 // SpecAcceptanceRate returns DraftAccepted/DraftProposed, 0 before any

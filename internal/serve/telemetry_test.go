@@ -154,6 +154,68 @@ func TestTelemetryRequestSpans(t *testing.T) {
 	}
 }
 
+// TestSLOAndFlightBitIdentity: with SLOs, flight recording, and tracing
+// all enabled the served tokens stay bit-identical to the sequential
+// reference, the SLO block appears in Stats, and overload anomalies land
+// in the flight ring — observation never perturbs.
+func TestSLOAndFlightBitIdentity(t *testing.T) {
+	m := lstmModel()
+	flight := telemetry.NewFlight(32)
+	var dump strings.Builder
+	flight.SetSink(&dump)
+	s := New(m, Config{
+		Workers:         1,
+		Tracer:          telemetry.NewTracer(0),
+		Flight:          flight,
+		SLOTargetP99:    2 * time.Second,
+		SLOAvailability: 0.5,
+	})
+	defer s.Close()
+
+	req := Request{Prompt: []int{3, 1, 4}, N: 6, Opts: sampling.DecodeOpts{Temperature: 0.8, TopK: 12}, Seed: 42}
+	want := reference(m, req)
+	res, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, tok := range res.Tokens {
+		if tok != want[j] {
+			t.Fatalf("token %d = %d, want %d (SLO/flight perturbed generation)", j, tok, want[j])
+		}
+	}
+
+	// The SLO block evaluates both objectives, in declaration order.
+	snap := s.Stats()
+	if len(snap.SLO) != 2 {
+		t.Fatalf("SLO statuses = %+v, want 2", snap.SLO)
+	}
+	if snap.SLO[0].Name != "latency_p99" || snap.SLO[1].Name != "availability" {
+		t.Fatalf("SLO order = %s, %s", snap.SLO[0].Name, snap.SLO[1].Name)
+	}
+	for _, st := range snap.SLO {
+		if !st.Compliant {
+			t.Errorf("one healthy request should not violate %s: %s", st.Name, st.String())
+		}
+	}
+	// And /metrics publishes the gauges.
+	var b strings.Builder
+	if err := s.Telemetry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `zipflm_slo_compliant{slo="latency_p99"} 1`) {
+		t.Errorf("/metrics missing SLO gauges:\n%s", b.String())
+	}
+
+	// An admission-expired request records into the flight ring.
+	_, err = s.Submit(Request{Prompt: []int{1}, N: 1, Seed: 1, Deadline: time.Now().Add(-time.Second)})
+	if err != ErrDeadlineExceeded {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if flight.Recorded() == 0 {
+		t.Fatal("expiry did not record into the flight ring")
+	}
+}
+
 // TestSnapshotFieldParity pins the exported Snapshot field set: the /v1/stats
 // JSON is built from these fields, so removing or renaming one is a
 // backward-compatibility break that must be deliberate.
@@ -167,6 +229,7 @@ func TestSnapshotFieldParity(t *testing.T) {
 		"PrefixHits", "PrefixMisses", "PrefixEvicted", "PrefixEntries",
 		"WeightsVersion", "Reloads", "Quantized", "DraftK",
 		"SpecRounds", "DraftProposed", "DraftAccepted", "DraftSteps",
+		"SLO",
 	}
 	typ := reflect.TypeOf(Snapshot{})
 	var got []string

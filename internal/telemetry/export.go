@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // WritePrometheus writes the registry in Prometheus text exposition format
@@ -18,6 +19,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	defer r.observeScrape()()
 	counters, gauges, hists := r.collect()
 
 	typed := make(map[string]bool)
@@ -85,6 +87,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// observeScrape counts an export and times it into the registry's own
+// meta-metrics, so scrape cost and cadence are visible in the exposition
+// they produce. The count increments before the instrument lists are
+// collected (the current scrape includes itself); the duration lands when
+// the export finishes, visible from the next scrape on.
+func (r *Registry) observeScrape() func() {
+	r.Counter("zipflm_telemetry_scrapes_total").Inc()
+	h := r.Duration("zipflm_telemetry_scrape_seconds")
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0)) }
+}
+
 // labelPrefix renders a raw label body as the prefix of a larger label
 // set ("" or `a="1",`).
 func labelPrefix(labels string) string {
@@ -129,6 +143,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
+	defer r.observeScrape()()
 	counters, gauges, hists := r.collect()
 	for _, name := range counters {
 		snap.Counters[name] = r.Counter(name).Value()

@@ -185,6 +185,26 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return 0 // unreachable: total > 0
 }
 
+// CountAbove returns how many observations landed in buckets whose lower
+// bound is at least v — the "bad event" count an SLO latency objective
+// burns budget with. The answer is exact when v is a bucket boundary;
+// otherwise observations sharing v's bucket are excluded, so the count is
+// within one bucket (≤1/subCount ≈ 3% relative) of the true value.
+func (h *Histogram) CountAbove(v int64) int64 {
+	if h == nil {
+		return 0
+	}
+	first := bucketIndex(v)
+	if lo, _ := bucketBounds(first); lo < v {
+		first++ // v splits its bucket: count only buckets entirely ≥ v
+	}
+	var n int64
+	for i := first; i < nBuckets; i++ {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
 // P50, P99 and P999 are the latency quantiles every dashboard wants.
 func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
 func (h *Histogram) P99() int64  { return h.Quantile(0.99) }

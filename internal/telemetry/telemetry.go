@@ -24,6 +24,7 @@ package telemetry
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -194,12 +195,47 @@ func (r *Registry) collect() (counters, gauges, hists []string) {
 }
 
 // Label appends one label pair to a metric name, composing with any labels
-// already present: Label(`m{a="1"}`, "b", "2") == `m{a="1",b="2"}`.
+// already present: Label(`m{a="1"}`, "b", "2") == `m{a="1",b="2"}`. The
+// value is escaped per the Prometheus text-format rules (backslash, double
+// quote, newline) at build time, since the label body is stored inside the
+// instrument name and never re-parsed by the exporters.
 func Label(name, key, value string) string {
+	value = escapeLabelValue(value)
 	if n := len(name); n > 0 && name[n-1] == '}' {
 		return name[:n-1] + `,` + key + `="` + value + `"}`
 	}
 	return name + `{` + key + `="` + value + `"}`
+}
+
+// escapeLabelValue escapes a label value for text exposition: `\` → `\\`,
+// `"` → `\"`, newline → `\n`. Values without special characters are
+// returned unchanged (no allocation).
+func escapeLabelValue(v string) string {
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // splitName separates a possibly-labelled metric name into its family and

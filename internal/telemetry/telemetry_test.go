@@ -107,9 +107,14 @@ func TestWritePrometheusFormat(t *testing.T) {
 		}
 	}
 	// Families: requests_total, bytes_total (once, despite two labelled
-	// series), queue_depth, latency_seconds.
-	if typeLines != 4 {
-		t.Errorf("got %d TYPE lines, want 4 (one per family):\n%s", typeLines, text)
+	// series), queue_depth, latency_seconds, plus the scrape meta-metrics
+	// every exposition carries (telemetry_scrapes_total,
+	// telemetry_scrape_seconds).
+	if typeLines != 6 {
+		t.Errorf("got %d TYPE lines, want 6 (one per family):\n%s", typeLines, text)
+	}
+	if !strings.Contains(text, "zipflm_telemetry_scrapes_total 1\n") {
+		t.Errorf("first scrape must report itself in the meta-counter:\n%s", text)
 	}
 	if strings.Count(text, "# TYPE zipflm_bytes_total counter") != 1 {
 		t.Errorf("labelled family must emit exactly one TYPE line:\n%s", text)

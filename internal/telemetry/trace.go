@@ -112,6 +112,22 @@ func (t *Tracer) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
+// ObserveTracer publishes a tracer's buffer occupancy and drop count as
+// gauges on the registry (zipflm_trace_events, zipflm_trace_dropped_events),
+// refreshed on every scrape — so a trace buffer silently hitting its bound
+// shows up in /metrics instead of only in the written trace file.
+func (r *Registry) ObserveTracer(t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	events := r.Gauge("zipflm_trace_events")
+	dropped := r.Gauge("zipflm_trace_dropped_events")
+	r.OnCollect(func() {
+		events.SetInt(int64(t.Len()))
+		dropped.SetInt(t.Dropped())
+	})
+}
+
 // chromeEvent is the trace_event JSON shape ("JSON Object Format", the
 // {"traceEvents": […]} envelope below).
 type chromeEvent struct {

@@ -1,0 +1,367 @@
+// Package traceview analyzes the Chrome trace_event JSON timelines the
+// telemetry.Tracer writes: it reconstructs per-step structure from the
+// trainer's aggregate spans, attributes each step's virtual-clock time to
+// compute vs wire vs sync-wait per rank from the per-rank spans, finds the
+// straggler, and aggregates per-collective-op traffic — the analysis layer
+// that turns a raw timeline into the paper's "who was the bottleneck"
+// story. cmd/zipflm-trace is the CLI over this package.
+//
+// The analysis is deterministic: it is a pure function of the parsed
+// floats (ties broken by rank), so the same trace always produces the
+// same attribution, and the envelope totals — the sums of the aggregate
+// "train" compute/sync span durations — equal the trainer's
+// SimComputeSeconds/SimSyncSeconds bitwise (encoding/json round-trips
+// float64 exactly, and the sums accumulate the identical values in the
+// identical order the trainer did).
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Span is one parsed trace event. TS/Dur are wall microseconds relative to
+// the tracer start; VTS/VDur are virtual-clock seconds.
+type Span struct {
+	Name  string
+	Cat   string
+	Phase string
+	Tid   int
+	TS    float64
+	Dur   float64
+	VTS   float64
+	VDur  float64
+}
+
+// Trace is a parsed trace file: every event in record order, plus the
+// dropped-event count the tracer recorded when its buffer bound hit.
+type Trace struct {
+	Spans   []Span
+	Dropped int64
+}
+
+// fileEvent / fileTrace mirror telemetry's chromeEvent JSON shape.
+type fileEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Tid  int     `json:"tid"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		VClockS    float64 `json:"vclock_s"`
+		VClockDurS float64 `json:"vclock_dur_s"`
+	} `json:"args"`
+}
+
+type fileTrace struct {
+	TraceEvents []fileEvent `json:"traceEvents"`
+	Dropped     int64       `json:"zipflmDroppedEvents"`
+}
+
+// Parse reads a Chrome trace_event JSON document.
+func Parse(r io.Reader) (*Trace, error) {
+	var ft fileTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ft); err != nil {
+		return nil, fmt.Errorf("traceview: parsing trace: %w", err)
+	}
+	tr := &Trace{Dropped: ft.Dropped, Spans: make([]Span, 0, len(ft.TraceEvents))}
+	for _, e := range ft.TraceEvents {
+		tr.Spans = append(tr.Spans, Span{
+			Name: e.Name, Cat: e.Cat, Phase: e.Ph, Tid: e.Tid,
+			TS: e.TS, Dur: e.Dur, VTS: e.Args.VClockS, VDur: e.Args.VClockDurS,
+		})
+	}
+	return tr, nil
+}
+
+// ParseFile reads and parses one trace file.
+func ParseFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceview: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// RankPhase is one rank's virtual-clock attribution for one step.
+type RankPhase struct {
+	// Compute is the rank's own compute span.
+	Compute float64
+	// Exchange is the rank's exchange-phase span — wire time plus however
+	// long it waited for stragglers at the collective barriers.
+	Exchange float64
+	// Update is the rank's optimizer/memory update span.
+	Update float64
+	// Wait is the sync-wait share: Exchange minus the step's wire floor
+	// (the minimum exchange across ranks — the rank that never waited).
+	Wait float64
+}
+
+// Step is one training step's critical-path decomposition. Compute and
+// Sync are the aggregate envelope (bitwise the trainer's accounting);
+// the remaining fields attribute the envelope using per-rank spans and
+// are zero/-1 when the trace carries no per-rank detail.
+type Step struct {
+	Index   int
+	Compute float64
+	Sync    float64
+	// Straggler is the rank whose compute finished last (ties to the
+	// lowest rank), -1 without per-rank spans.
+	Straggler int
+	// Wire is the step's wire floor: the minimum exchange time across
+	// ranks — communication no rank could avoid.
+	Wire float64
+	// UpdateMax is the slowest rank's update span.
+	UpdateMax float64
+	// Other is the envelope residual: Sync − Wire − UpdateMax (optimizer
+	// step, barrier skew; may be slightly negative from clock skew at
+	// phase entry).
+	Other float64
+	// MaxWait is the largest sync-wait any rank spent this step.
+	MaxWait float64
+	// Ranks holds per-rank attribution aligned with Analysis.Ranks.
+	Ranks []RankPhase
+}
+
+// OpTotal aggregates one collective operation across the trace. VDur and
+// Wall are rank-seconds (each rank's span counted; divide by ranks for
+// per-rank means).
+type OpTotal struct {
+	Name  string
+	Count int
+	VDur  float64
+	Wall  float64 // seconds, from wall-clock span durations
+}
+
+// Analysis is the full report computed from one trace.
+type Analysis struct {
+	Events  int
+	Dropped int64
+	// Truncated is set when the tracer dropped events or the per-rank
+	// streams disagree in length — attribution then covers only the
+	// complete prefix.
+	Truncated bool
+	// EnvelopeDerived is set when the trace carries no aggregate trainer
+	// spans and the envelope was reconstructed from per-rank maxima
+	// (then NOT bitwise the trainer's accounting).
+	EnvelopeDerived bool
+	// Ranks lists the rank tids seen in per-rank spans, ascending.
+	Ranks []int
+	Steps []Step
+	// TotalCompute/TotalSync sum the aggregate envelope spans in record
+	// order — bitwise equal to the trainer's SimComputeSeconds /
+	// SimSyncSeconds when the trace came from a trainer run.
+	TotalCompute    float64
+	TotalSync       float64
+	TotalCheckpoint float64
+	// RankBusy/RankWait are per-rank totals aligned with Ranks: busy is
+	// compute + wire share + update; wait is barrier time lost to
+	// stragglers.
+	RankBusy []float64
+	RankWait []float64
+	// Collectives aggregates cat="collective" spans per op name.
+	Collectives []OpTotal
+	// Instants counts instant events by name (fault-rollback, shed, …).
+	Instants map[string]int
+}
+
+// streamKey identifies one sequential span stream: spans sharing
+// (cat, tid, name) are emitted in order by a single goroutine, so the i-th
+// occurrence belongs to step i regardless of cross-goroutine interleaving
+// in the record order.
+type streamKey struct {
+	cat  string
+	tid  int
+	name string
+}
+
+// Analyze computes the critical-path report for a parsed trace.
+func Analyze(tr *Trace) *Analysis {
+	a := &Analysis{
+		Events:   len(tr.Spans),
+		Dropped:  tr.Dropped,
+		Instants: map[string]int{},
+	}
+	if tr.Dropped > 0 {
+		a.Truncated = true
+	}
+
+	streams := map[streamKey][]Span{}
+	rankSet := map[int]bool{}
+	opTotals := map[string]*OpTotal{}
+	for _, s := range tr.Spans {
+		if s.Phase == "i" {
+			a.Instants[s.Name]++
+			continue
+		}
+		if s.Phase != "X" {
+			continue
+		}
+		switch s.Cat {
+		case "train":
+			switch s.Name {
+			case "compute":
+				a.TotalCompute += s.VDur
+			case "sync":
+				a.TotalSync += s.VDur
+			case "checkpoint":
+				a.TotalCheckpoint += s.VDur
+			}
+		case "rank":
+			rankSet[s.Tid] = true
+		case "collective":
+			ot := opTotals[s.Name]
+			if ot == nil {
+				ot = &OpTotal{Name: s.Name}
+				opTotals[s.Name] = ot
+			}
+			ot.Count++
+			ot.VDur += s.VDur
+			ot.Wall += s.Dur / 1e6
+		}
+		k := streamKey{cat: s.Cat, tid: s.Tid, name: s.Name}
+		streams[k] = append(streams[k], s)
+	}
+	for r := range rankSet {
+		a.Ranks = append(a.Ranks, r)
+	}
+	sort.Ints(a.Ranks)
+	for _, ot := range opTotals {
+		a.Collectives = append(a.Collectives, *ot)
+	}
+	sort.Slice(a.Collectives, func(i, j int) bool { return a.Collectives[i].Name < a.Collectives[j].Name })
+
+	aggCompute := streams[streamKey{cat: "train", tid: 0, name: "compute"}]
+	aggSync := streams[streamKey{cat: "train", tid: 0, name: "sync"}]
+
+	// Step count: the aggregate streams define it; without them, fall
+	// back to the shortest per-rank compute stream (weak-scaling traces
+	// carry only cat="train" spans; hand-rolled traces may carry only
+	// per-rank ones).
+	steps := min(len(aggCompute), len(aggSync))
+	if len(aggCompute) != len(aggSync) {
+		a.Truncated = true
+	}
+	if len(aggCompute) == 0 && len(a.Ranks) > 0 {
+		a.EnvelopeDerived = true
+		steps = -1
+		for _, r := range a.Ranks {
+			n := len(streams[streamKey{cat: "rank", tid: r, name: "compute"}])
+			if steps < 0 || n < steps {
+				steps = n
+			}
+		}
+		if steps < 0 {
+			steps = 0
+		}
+	}
+
+	// Per-rank streams must cover every step; a shorter stream marks
+	// truncation and bounds the attributed prefix.
+	rankSteps := steps
+	if len(a.Ranks) > 0 {
+		for _, r := range a.Ranks {
+			for _, name := range []string{"compute", "exchange", "update"} {
+				n := len(streams[streamKey{cat: "rank", tid: r, name: name}])
+				if n < rankSteps {
+					rankSteps = n
+					a.Truncated = true
+				}
+			}
+		}
+	} else {
+		rankSteps = 0
+	}
+
+	a.RankBusy = make([]float64, len(a.Ranks))
+	a.RankWait = make([]float64, len(a.Ranks))
+	for i := 0; i < steps; i++ {
+		st := Step{Index: i, Straggler: -1}
+		if i < len(aggCompute) {
+			st.Compute = aggCompute[i].VDur
+			st.Sync = aggSync[i].VDur
+		}
+		if i < rankSteps {
+			st.Ranks = make([]RankPhase, len(a.Ranks))
+			wire := -1.0
+			var stragglerEnd float64
+			var maxCompute, maxExchange, maxUpdate float64
+			for ri, r := range a.Ranks {
+				c := streams[streamKey{cat: "rank", tid: r, name: "compute"}][i]
+				e := streams[streamKey{cat: "rank", tid: r, name: "exchange"}][i]
+				u := streams[streamKey{cat: "rank", tid: r, name: "update"}][i]
+				st.Ranks[ri] = RankPhase{Compute: c.VDur, Exchange: e.VDur, Update: u.VDur}
+				if end := c.VTS + c.VDur; st.Straggler < 0 || end > stragglerEnd {
+					st.Straggler = r
+					stragglerEnd = end
+				}
+				if wire < 0 || e.VDur < wire {
+					wire = e.VDur
+				}
+				maxCompute = max(maxCompute, c.VDur)
+				maxExchange = max(maxExchange, e.VDur)
+				maxUpdate = max(maxUpdate, u.VDur)
+			}
+			st.Wire = wire
+			st.UpdateMax = maxUpdate
+			st.MaxWait = maxExchange - wire
+			if a.EnvelopeDerived {
+				st.Compute = maxCompute
+				st.Sync = maxExchange + maxUpdate
+			}
+			st.Other = st.Sync - st.Wire - st.UpdateMax
+			for ri := range st.Ranks {
+				rp := &st.Ranks[ri]
+				rp.Wait = rp.Exchange - wire
+				a.RankBusy[ri] += rp.Compute + wire + rp.Update
+				a.RankWait[ri] += rp.Wait
+			}
+		}
+		a.Steps = append(a.Steps, st)
+	}
+	if a.EnvelopeDerived {
+		a.TotalCompute, a.TotalSync = 0, 0
+		for _, st := range a.Steps {
+			a.TotalCompute += st.Compute
+			a.TotalSync += st.Sync
+		}
+	}
+	return a
+}
+
+// AnalyzeFile parses and analyzes one trace file.
+func AnalyzeFile(path string) (*Analysis, error) {
+	tr, err := ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(tr), nil
+}
+
+// TotalEnvelope is the critical-path total: the virtual-clock seconds the
+// cluster spent across all steps (compute + sync + checkpoint).
+func (a *Analysis) TotalEnvelope() float64 {
+	return a.TotalCompute + a.TotalSync + a.TotalCheckpoint
+}
+
+// StragglerCounts returns how many steps each rank (aligned with Ranks)
+// was the straggler.
+func (a *Analysis) StragglerCounts() []int {
+	idx := make(map[int]int, len(a.Ranks))
+	for i, r := range a.Ranks {
+		idx[r] = i
+	}
+	out := make([]int, len(a.Ranks))
+	for _, st := range a.Steps {
+		if i, ok := idx[st.Straggler]; ok {
+			out[i]++
+		}
+	}
+	return out
+}

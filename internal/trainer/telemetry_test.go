@@ -1,22 +1,30 @@
 package trainer
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"zipflm/internal/core"
 	"zipflm/internal/perfmodel"
 	"zipflm/internal/telemetry"
+	"zipflm/internal/traceview"
 )
 
-// TestTelemetryBitIdentity: the same run with telemetry and tracing on must
-// produce bit-identical weights and losses to the uninstrumented run —
-// observation never perturbs computation.
+// TestTelemetryBitIdentity: the same run with telemetry, tracing, and the
+// flight recorder on must produce bit-identical weights and losses to the
+// uninstrumented run — observation never perturbs computation.
 func TestTelemetryBitIdentity(t *testing.T) {
 	train, valid := smallData(60, 8000, 1)
-	run := func(reg *telemetry.Registry, tr *telemetry.Tracer) (Result, *Trainer) {
+	run := func(reg *telemetry.Registry, tr *telemetry.Tracer, fl *telemetry.Flight) (Result, *Trainer) {
 		cfg := smallConfig(2, core.UniqueExchange{})
 		cfg.Telemetry = reg
 		cfg.Trace = tr
+		cfg.Flight = fl
+		// In-memory checkpoints every few steps so the flight recorder has
+		// something to log; identical in both legs, so bit-identity still
+		// proves observation changed nothing.
+		cfg.CheckpointEvery = 5
 		trn, err := New(cfg, train, valid)
 		if err != nil {
 			t.Fatal(err)
@@ -28,10 +36,12 @@ func TestTelemetryBitIdentity(t *testing.T) {
 		return res, trn
 	}
 
-	plainRes, plainTr := run(nil, nil)
+	plainRes, plainTr := run(nil, nil, nil)
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(0)
-	obsRes, obsTr := run(reg, tracer)
+	flight := telemetry.NewFlight(64)
+	flight.SetSink(io.Discard)
+	obsRes, obsTr := run(reg, tracer, flight)
 
 	if plainRes.FinalLoss != obsRes.FinalLoss {
 		t.Fatalf("final loss diverged: %v (off) != %v (on)", plainRes.FinalLoss, obsRes.FinalLoss)
@@ -61,6 +71,9 @@ func TestTelemetryBitIdentity(t *testing.T) {
 	if tracer.Len() == 0 {
 		t.Fatal("tracer recorded no spans")
 	}
+	if flight.Recorded() == 0 {
+		t.Fatal("flight recorder saw no events (checkpoints should log)")
+	}
 }
 
 // TestTraceVirtualDurationsSumToStepStats: the acceptance contract — the
@@ -86,8 +99,13 @@ func TestTraceVirtualDurationsSumToStepStats(t *testing.T) {
 			res.Stats.SimComputeSeconds, res.Stats.SimSyncSeconds)
 	}
 
+	// Sum the aggregate (cat "train") spans only: per-rank spans reuse the
+	// name "compute" under cat "rank" and would double-count.
 	var vCompute, vSync float64
 	for _, e := range tracer.Events() {
+		if e.Cat != "train" {
+			continue
+		}
 		switch e.Name {
 		case "compute":
 			vCompute += e.VDur
@@ -102,5 +120,72 @@ func TestTraceVirtualDurationsSumToStepStats(t *testing.T) {
 	if vSync != res.Stats.SimSyncSeconds {
 		t.Errorf("trace sync vdur sum %v != SimSyncSeconds %v (must be bitwise equal)",
 			vSync, res.Stats.SimSyncSeconds)
+	}
+}
+
+// TestTraceviewReconcilesThroughFile: the full acceptance pipeline — run a
+// priced training job, write the Chrome trace to JSON, parse and analyze it
+// with traceview, and require the analyzer's critical-path totals to equal
+// the trainer's own SimComputeSeconds / SimSyncSeconds bitwise.
+// encoding/json round-trips float64 exactly, and Analyze sums the aggregate
+// spans in record order (a single tid-0 stream, so record order is step
+// order) — the same order Run accumulated them in.
+func TestTraceviewReconcilesThroughFile(t *testing.T) {
+	hw := perfmodel.TitanX()
+	cfg, train, valid := simConfig(&hw)
+	tracer := telemetry.NewTracer(0)
+	cfg.Trace = tracer
+	trn, err := New(cfg, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trn.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	tr, err := traceview.Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := traceview.Analyze(tr)
+
+	if a.TotalCompute != res.Stats.SimComputeSeconds {
+		t.Errorf("analyzer compute %v != SimComputeSeconds %v (must be bitwise equal)",
+			a.TotalCompute, res.Stats.SimComputeSeconds)
+	}
+	if a.TotalSync != res.Stats.SimSyncSeconds {
+		t.Errorf("analyzer sync %v != SimSyncSeconds %v (must be bitwise equal)",
+			a.TotalSync, res.Stats.SimSyncSeconds)
+	}
+	if len(a.Steps) != res.Stats.Steps {
+		t.Errorf("analyzer found %d steps, trainer ran %d", len(a.Steps), res.Stats.Steps)
+	}
+	for i, st := range a.Steps {
+		if st.Straggler < 0 {
+			t.Fatalf("step %d has no straggler attribution (per-rank spans missing?)", i)
+		}
+	}
+
+	// Determinism of the analysis itself: analyzing the same trace twice
+	// (fresh parse each time) yields identical attribution.
+	tr2, err := traceview.Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := traceview.Analyze(tr2)
+	if b.TotalCompute != a.TotalCompute || b.TotalSync != a.TotalSync || len(b.Steps) != len(a.Steps) {
+		t.Fatal("re-analysis of the same trace diverged")
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Straggler != b.Steps[i].Straggler || a.Steps[i].Wire != b.Steps[i].Wire ||
+			a.Steps[i].MaxWait != b.Steps[i].MaxWait {
+			t.Fatalf("step %d attribution diverged between identical analyses", i)
+		}
 	}
 }

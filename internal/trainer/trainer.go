@@ -22,6 +22,7 @@ package trainer
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -166,12 +167,22 @@ type Config struct {
 	// Purely observational: the trajectory is bit-identical with or
 	// without it (tested), and nil keeps every hot path uninstrumented.
 	Telemetry *telemetry.Registry
-	// Trace, when non-nil, records one span per step phase (compute, sync)
-	// plus checkpoint saves and fault rollbacks, each stamped with wall
-	// time and the virtual clock. Summing the compute/sync spans' virtual
-	// durations reproduces StepStats.SimComputeSeconds / SimSyncSeconds
-	// exactly. Export with Tracer.WriteChromeTrace.
+	// Trace, when non-nil, records the run's timeline at two granularities,
+	// each span stamped with wall time and the virtual clock. Aggregate
+	// spans (cat "train", tid 0) cover each step's compute and sync phases
+	// plus checkpoint saves and fault-rollback instants; summing their
+	// virtual durations reproduces StepStats.SimComputeSeconds /
+	// SimSyncSeconds exactly. Per-rank spans (cat "rank", tid = rank) split
+	// each rank's step into compute / exchange / update, and the attached
+	// communicator adds per-collective-op spans (cat "collective") — the
+	// detail internal/traceview's critical-path analyzer attributes
+	// stragglers and sync-wait from. Export with Tracer.WriteChromeTrace.
 	Trace *telemetry.Tracer
+	// Flight, when non-nil, records structured anomaly events (checkpoint
+	// captures, fault rollbacks) into the flight-recorder ring and dumps
+	// the ring on every rollback — the black-box context of a failure.
+	// Purely observational, like Telemetry and Trace.
+	Flight *telemetry.Flight
 }
 
 // EvalPoint is one validation measurement.
@@ -330,6 +341,10 @@ func New(cfg Config, train, valid []int) (*Trainer, error) {
 	if cfg.Telemetry != nil {
 		t.tel = newTrainerTelemetry(cfg.Telemetry)
 		t.comm.AttachTelemetry(cfg.Telemetry)
+		cfg.Telemetry.ObserveTracer(cfg.Trace)
+	}
+	if cfg.Trace != nil {
+		t.comm.AttachTrace(cfg.Trace)
 	}
 	if cfg.Hardware != nil {
 		if cfg.Overlap {
@@ -583,6 +598,8 @@ func (t *Trainer) afterStep() (rolledBack bool, err error) {
 		}
 		t.cfg.Trace.Span("train", "checkpoint", 0, ckptStart, time.Since(ckptStart),
 			vtsBefore, t.clu.MaxClock()-vtsBefore)
+		t.cfg.Flight.Record(slog.LevelInfo, "checkpoint",
+			"step", t.step, "vclock_s", t.clu.MaxClock(), "on_disk", t.ckptDir != nil)
 	}
 	if t.cfg.Faults != nil {
 		for {
@@ -601,9 +618,13 @@ func (t *Trainer) afterStep() (rolledBack bool, err error) {
 			t.ftStats.Faults++
 			t.ftStats.LostSteps += lost
 			t.cfg.Trace.Instant("train", "fault-rollback", 0, time.Now(), now)
+			t.cfg.Flight.Record(slog.LevelWarn, "fault-rollback",
+				"step", t.step, "restore_step", t.lastCkpt.Step, "lost_steps", lost,
+				"vclock_s", now, "faults_total", t.ftStats.Faults)
 			if err := t.RestoreState(t.lastCkpt); err != nil {
 				return true, err
 			}
+			t.cfg.Flight.Trigger("fault-rollback")
 			rolledBack = true
 			if t.cfg.SimRestartSeconds > 0 {
 				vclock.SyncAdvance(t.clu.Clocks(), t.cfg.SimRestartSeconds)
@@ -854,6 +875,12 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	// reductions streaming out mid-backprop in Overlap mode.
 	phaseStart := time.Now()
 	err := t.clu.Run(func(rank int, dev *cluster.Device) error {
+		var cT0 time.Time
+		var cV0 float64
+		if t.cfg.Trace != nil {
+			cT0 = time.Now()
+			cV0 = dev.Clock.Now()
+		}
 		m := t.models[rank]
 		m.ZeroGrads()
 		var sampler sampling.CandidateSampler
@@ -890,6 +917,9 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 			// achieved fraction of peak, charged to this rank's clock.
 			dev.AdvanceCompute(int64(t.cfg.SimFLOPsPerStep), *sim, t.cfg.SimAchievedFrac)
 		}
+		if tr := t.cfg.Trace; tr != nil {
+			tr.Span("rank", "compute", rank, cT0, time.Since(cT0), cV0, dev.Clock.Now()-cV0)
+		}
 		return nil
 	})
 	if err != nil {
@@ -910,6 +940,12 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 	inStats := make([]core.Stats, g)
 	outStats := make([]core.Stats, g)
 	_ = t.clu.Run(func(rank int, dev *cluster.Device) error {
+		var exT0, upT0 time.Time
+		var exV0, exV1 float64
+		if t.cfg.Trace != nil {
+			exT0 = time.Now()
+			exV0 = dev.Clock.Now()
+		}
 		m := t.models[rank]
 		ctx := &core.Ctx{Rank: rank, Comm: t.comm, Dev: dev, Wire: t.cfg.Wire, WS: t.ws[rank]}
 		outDense := t.cfg.Model.Sampled == 0
@@ -995,6 +1031,15 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 		// and the embedding updates apply the same arithmetic to the same
 		// tensors in both modes.
 		drain()
+		if tr := t.cfg.Trace; tr != nil {
+			// The exchange span closes once every collective this rank
+			// joined has completed — its virtual duration is wire time
+			// plus whatever this rank waited at the barriers, which is
+			// exactly the sync-wait the critical-path analyzer splits out.
+			exV1 = dev.Clock.Now()
+			tr.Span("rank", "exchange", rank, exT0, time.Since(exT0), exV0, exV1-exV0)
+			upT0 = time.Now()
+		}
 		for _, p := range m.DenseParams() {
 			tensor.Scale(p.Grad, invG)
 			if t.cfg.ClipNorm > 0 {
@@ -1020,6 +1065,9 @@ func (t *Trainer) trainStep(step int, lrNow float64, seeds []uint64) (stepStats,
 				b += 2 * int64(len(outGrad.Indices)) * int64(m.OutEmb.Cols) * 4
 			}
 			dev.AdvanceMemory(b, *sim)
+		}
+		if tr := t.cfg.Trace; tr != nil {
+			tr.Span("rank", "update", rank, upT0, time.Since(upT0), exV1, dev.Clock.Now()-exV1)
 		}
 		return nil
 	})

@@ -47,11 +47,15 @@ type jsonReport struct {
 	Notes  []string    `json:"notes"`
 }
 
-// jsonOutput is the top-level -json document.
+// jsonOutput is the top-level -json document. Host metadata (go version,
+// GOMAXPROCS, CPU count, commit) rides along so a checked-in BENCH_*.json
+// records where its numbers came from — zipflm-perf reads the same shape
+// when diffing runs across machines.
 type jsonOutput struct {
-	Seed    uint64       `json:"seed"`
-	Quick   bool         `json:"quick"`
-	Reports []jsonReport `json:"reports"`
+	Seed    uint64              `json:"seed"`
+	Quick   bool                `json:"quick"`
+	Host    telemetry.BuildInfo `json:"host"`
+	Reports []jsonReport        `json:"reports"`
 }
 
 func toJSONReport(rep *experiments.Report) jsonReport {
@@ -69,14 +73,15 @@ func toJSONReport(rep *experiments.Report) jsonReport {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id(s) to run, comma-separated, or 'all'")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		quick     = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
-		seed      = flag.Uint64("seed", 42, "reproducibility seed")
-		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
-		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the simulated-cluster experiments to this path")
-		flightCap = flag.Int("flight", 0, "flight-recorder ring capacity for training-based experiments; dumped on fault rollback or SIGQUIT (0 disables)")
-		workers   = flag.Int("workers", 0, "goroutines per matmul in training-based experiments (0: ZIPFLM_WORKERS or serial; results identical at any value)")
+		exp        = flag.String("exp", "all", "experiment id(s) to run, comma-separated, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quick      = flag.Bool("quick", false, "shrink training-based experiments for a fast smoke run")
+		seed       = flag.Uint64("seed", 42, "reproducibility seed")
+		jsonPath   = flag.String("json", "", "also write machine-readable results to this path")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the simulated-cluster experiments to this path")
+		flightCap  = flag.Int("flight", 0, "flight-recorder ring capacity for training-based experiments; dumped on fault rollback or SIGQUIT (0 disables)")
+		profileDir = flag.String("profile-dir", "", "capture a CPU profile per experiment (plus a heap snapshot at each experiment's end) into this directory, indexed by profiles.json")
+		workers    = flag.Int("workers", 0, "goroutines per matmul in training-based experiments (0: ZIPFLM_WORKERS or serial; results identical at any value)")
 	)
 	flag.Parse()
 
@@ -104,6 +109,18 @@ func main() {
 	if *flightCap > 0 {
 		opts.Flight = telemetry.NewFlight(*flightCap)
 		defer opts.Flight.ArmSIGQUIT()()
+	}
+	if *profileDir != "" {
+		prof, err := telemetry.NewProfiler(telemetry.ProfilerConfig{Dir: *profileDir, Heap: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Profile = prof
+		defer func() {
+			prof.Stop()
+			fmt.Fprintf(os.Stderr, "zipflm-bench: wrote %d profile(s) to %s\n", len(prof.Manifest()), prof.Dir())
+		}()
 	}
 	ids := experiments.IDs()
 	if *exp != "all" {
@@ -138,7 +155,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	out := jsonOutput{Seed: *seed, Quick: *quick}
+	out := jsonOutput{Seed: *seed, Quick: *quick, Host: telemetry.CollectBuildInfo()}
 	for _, id := range ids {
 		rep, err := experiments.Run(id, opts)
 		if err != nil {

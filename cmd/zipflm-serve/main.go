@@ -50,6 +50,7 @@ import (
 
 	"zipflm/internal/ckpt"
 	"zipflm/internal/corpus"
+	"zipflm/internal/dash"
 	"zipflm/internal/metrics"
 	"zipflm/internal/model"
 	"zipflm/internal/sampling"
@@ -74,6 +75,11 @@ func main() {
 		draftK    = flag.Int("draft-k", 4, "speculative lookahead tokens per round (with -draft)")
 		watch     = flag.Duration("watch", 0, "poll the -model checkpoint directory at this interval and hot-reload new checkpoints (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (empty disables)")
+		dashboard = flag.Bool("dashboard", false, "render a live ANSI dashboard of the in-process registry on stdout (same renderer as zipflm-top)")
+		histCap   = flag.Int("history", telemetry.DefaultHistorySamples, "in-process metrics-history ring capacity, sampled every -history-interval and served at /metrics/history (0 disables)")
+		histEvery = flag.Duration("history-interval", telemetry.DefaultHistoryInterval, "metrics-history sampling interval")
+		profDir   = flag.String("profile-dir", "", "continuously capture CPU+heap pprof profiles into this directory on -profile-interval, indexed by profiles.json (empty disables)")
+		profEvery = flag.Duration("profile-interval", time.Minute, "continuous-profiling capture interval (with -profile-dir)")
 		tracePath = flag.String("trace", "", "write per-request Chrome trace spans here on shutdown (view in Perfetto or zipflm-trace)")
 		flightCap = flag.Int("flight", telemetry.DefaultFlightEvents, "flight-recorder ring capacity (0 disables; dumps on overload or SIGQUIT)")
 		sloP99    = flag.Duration("slo-p99", 500*time.Millisecond, "p99 latency SLO target (0 disables the latency objective)")
@@ -123,6 +129,7 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	build := telemetry.PublishBuildInfo(reg)
 	var tracer *telemetry.Tracer
 	if *tracePath != "" {
 		tracer = telemetry.NewTracer(0)
@@ -152,6 +159,30 @@ func main() {
 	})
 	defer srv.Close()
 	defer writeTrace(tracer, *tracePath)
+
+	// The performance observatory: periodic registry sampling into a ring
+	// (served at /metrics/history), scheduled pprof capture, and the live
+	// in-process dashboard. All three only read instruments — generated
+	// tokens are bit-identical with every one of them enabled.
+	var history *telemetry.History
+	if *histCap > 0 {
+		history = telemetry.NewHistory(reg, telemetry.HistoryConfig{Capacity: *histCap, Interval: *histEvery})
+		defer history.Start()()
+	}
+	if *profDir != "" {
+		prof, err := telemetry.NewProfiler(telemetry.ProfilerConfig{Dir: *profDir, Interval: *profEvery, Heap: true})
+		if err != nil {
+			fatal(err)
+		}
+		prof.Start()
+		defer prof.Stop()
+		fmt.Fprintf(os.Stderr, "zipflm-serve: profiling to %s every %s\n", *profDir, *profEvery)
+	}
+	if *dashboard {
+		stopDash := make(chan struct{})
+		defer close(stopDash)
+		go dash.Run(os.Stdout, "zipflm-serve "+*addr, time.Second, dash.DefaultWidth, true, reg.Snapshot, stopDash)
+	}
 
 	if *debugAddr != "" {
 		// The pprof import registers only on DefaultServeMux, which the
@@ -190,9 +221,18 @@ func main() {
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(statsJSON(srv.Stats(), weights))
+		json.NewEncoder(w).Encode(statsJSON(srv.Stats(), weights, build))
 	})
 	mux.Handle("/metrics", telemetry.Handler(reg))
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
+		if history == nil {
+			http.Error(w, "history disabled (-history 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		history.Sample(time.Now()) // fold the current instant in, so a scrape is never stale
+		history.WriteJSON(w)
+	})
 	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
 		handleGenerate(w, r, srv, vocab)
 	})
@@ -456,10 +496,12 @@ func handleReload(w http.ResponseWriter, r *http.Request, srv *serve.Server, wei
 	})
 }
 
-// statsJSON flattens a Snapshot plus checkpoint metadata for /v1/stats.
-func statsJSON(s serve.Snapshot, weights *weightsInfo) map[string]any {
+// statsJSON flattens a Snapshot plus checkpoint and build metadata for
+// /v1/stats.
+func statsJSON(s serve.Snapshot, weights *weightsInfo, build telemetry.BuildInfo) map[string]any {
 	source, step, at := weights.get()
 	return map[string]any{
+		"build":             build,
 		"uptime_s":          s.Uptime.Seconds(),
 		"accepted":          s.Accepted,
 		"completed":         s.Completed,

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"zipflm/internal/collective"
 	"zipflm/internal/compress"
 	"zipflm/internal/core"
 	"zipflm/internal/corpus"
+	"zipflm/internal/dash"
 	"zipflm/internal/half"
 	"zipflm/internal/metrics"
 	"zipflm/internal/model"
@@ -74,6 +76,11 @@ func main() {
 		metricsAt = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (empty disables)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file on exit (empty disables)")
 		flightCap = flag.Int("flight", telemetry.DefaultFlightEvents, "flight-recorder ring capacity; dumped on fault rollback or SIGQUIT (0 disables)")
+		dashboard = flag.Bool("dashboard", false, "render a live ANSI dashboard of training telemetry on stderr (stdout keeps the tables)")
+		histPath  = flag.String("history", "", "sample the telemetry registry every -history-interval into a ring and write the series as JSON to this file on exit")
+		histEvery = flag.Duration("history-interval", telemetry.DefaultHistoryInterval, "metrics-history sampling interval (with -history)")
+		profDir   = flag.String("profile-dir", "", "continuously capture CPU+heap pprof profiles into this directory on -profile-interval, indexed by profiles.json")
+		profEvery = flag.Duration("profile-interval", 30*time.Second, "continuous-profiling capture interval (with -profile-dir)")
 	)
 	flag.Parse()
 
@@ -164,8 +171,11 @@ func main() {
 	}
 
 	var tracer *telemetry.Tracer
-	if *metricsAt != "" || *tracePath != "" {
+	if *metricsAt != "" || *tracePath != "" || *dashboard || *histPath != "" {
 		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.Telemetry != nil {
+		telemetry.PublishBuildInfo(cfg.Telemetry)
 	}
 	if *tracePath != "" {
 		tracer = telemetry.NewTracer(0)
@@ -185,6 +195,50 @@ func main() {
 				fmt.Fprintf(os.Stderr, "zipflm-train: metrics listener: %v\n", err)
 			}
 		}()
+	}
+
+	// The performance observatory: metrics history on both clocks (the
+	// virtual axis reads the simulated cluster's clock gauge), scheduled
+	// pprof capture, and the live dashboard on stderr. Purely
+	// observational — losses and weights are bit-identical with all of
+	// them enabled.
+	var history *telemetry.History
+	if *histPath != "" {
+		simClock := cfg.Telemetry.Gauge("zipflm_train_sim_seconds")
+		history = telemetry.NewHistory(cfg.Telemetry, telemetry.HistoryConfig{
+			Interval: *histEvery,
+			VClock:   simClock.Value,
+		})
+		stopHistory := history.Start()
+		defer func() {
+			stopHistory()
+			f, err := os.Create(*histPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zipflm-train: history: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := history.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "zipflm-train: history: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "zipflm-train: wrote %d history samples to %s\n", history.Len(), *histPath)
+		}()
+	}
+	if *profDir != "" {
+		prof, err := telemetry.NewProfiler(telemetry.ProfilerConfig{Dir: *profDir, Interval: *profEvery, Heap: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipflm-train: %v\n", err)
+			os.Exit(1)
+		}
+		prof.Start()
+		defer prof.Stop()
+		fmt.Fprintf(os.Stderr, "zipflm-train: profiling to %s every %s\n", *profDir, *profEvery)
+	}
+	if *dashboard {
+		stopDash := make(chan struct{})
+		defer close(stopDash)
+		go dash.Run(os.Stderr, "zipflm-train", time.Second, dash.DefaultWidth, true, cfg.Telemetry.Snapshot, stopDash)
 	}
 
 	var tr *trainer.Trainer

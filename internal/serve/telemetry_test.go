@@ -240,3 +240,56 @@ func TestSnapshotFieldParity(t *testing.T) {
 		t.Fatalf("Snapshot fields changed:\n got %v\nwant %v", got, want)
 	}
 }
+
+// TestObservatoryBitIdentity: the performance-observatory acceptance
+// contract — with metrics-history sampling AND continuous profiling both
+// running over the serving registry, generated tokens stay bit-identical
+// to the sequential reference, and both observers actually captured the
+// run.
+func TestObservatoryBitIdentity(t *testing.T) {
+	m := lstmModel()
+	reg := telemetry.NewRegistry()
+	s := New(m, Config{Workers: 1, MaxBatch: 4, CacheEntries: 8, Telemetry: reg})
+	defer s.Close()
+
+	hist := telemetry.NewHistory(reg, telemetry.HistoryConfig{Capacity: 64, Interval: time.Millisecond})
+	stopHist := hist.Start()
+	prof, err := telemetry.NewProfiler(telemetry.ProfilerConfig{Dir: t.TempDir(), Heap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopPhase := prof.StartPhase("serve-bitident")
+
+	req := Request{Prompt: []int{3, 1, 4}, N: 6, Opts: sampling.DecodeOpts{Temperature: 0.8, TopK: 12}, Seed: 42}
+	want := reference(m, req)
+	for i := 0; i < 3; i++ { // generate once, then hit the result cache
+		res, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, tok := range res.Tokens {
+			if tok != want[j] {
+				t.Fatalf("submit %d: token %d = %d, want %d (observatory perturbed generation)", i, j, tok, want[j])
+			}
+		}
+	}
+
+	stopPhase()
+	stopHist()
+	prof.Stop()
+
+	// Both observers saw the run: the history holds samples whose counters
+	// reflect the submissions, and the profiler indexed its captures.
+	samples := hist.Samples()
+	if len(samples) == 0 {
+		t.Fatal("history sampled nothing")
+	}
+	last := samples[len(samples)-1]
+	if last.Counters["zipflm_serve_completed_total"] != 3 {
+		t.Fatalf("final history sample completed=%d, want 3", last.Counters["zipflm_serve_completed_total"])
+	}
+	entries := prof.Manifest()
+	if len(entries) != 2 {
+		t.Fatalf("profiler manifest has %d entries, want cpu+heap: %+v", len(entries), entries)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -175,11 +176,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// Handler serves the registry: Prometheus text format by default,
-// the JSON snapshot with ?format=json — the `GET /metrics` endpoint.
+// Handler serves the registry from one endpoint with content negotiation:
+// Prometheus text format by default, the JSON snapshot when the request
+// asks for JSON — either `Accept: application/json` or the ?format=json
+// query parameter (the original split-path alias, kept working). An
+// explicit ?format always wins over the Accept header.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Query().Get("format") == "json" {
+		if wantsJSON(req) {
 			w.Header().Set("Content-Type", "application/json")
 			r.WriteJSON(w)
 			return
@@ -187,4 +191,26 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
+}
+
+// wantsJSON decides the exposition format for one request. The Accept
+// check is deliberately simple — a scrape client either names
+// application/json outright or it gets the text format; relative quality
+// factors between the two are not worth parsing here.
+func wantsJSON(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "prometheus", "text":
+		return false
+	}
+	for _, accept := range req.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+			if strings.TrimSpace(mediaType) == "application/json" {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -209,3 +209,124 @@ func (h *Histogram) CountAbove(v int64) int64 {
 func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
 func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
 func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// HistCum is a cumulative point-in-time snapshot of a histogram: total
+// count, raw sum, and the nonzero buckets in sparse form (BucketIdx[i]
+// holds BucketN[i] observations), ordered by bucket index. Two snapshots
+// of the same histogram subtract into a HistDelta — the observations
+// recorded between them — which is what gives a fixed-storage histogram a
+// time axis: windowed quantiles come from the delta, not the lifetime
+// distribution.
+type HistCum struct {
+	Count     int64   `json:"count"`
+	Sum       int64   `json:"sum"`
+	BucketIdx []int32 `json:"bucket_idx,omitempty"`
+	BucketN   []int64 `json:"bucket_n,omitempty"`
+}
+
+// CumSnapshot captures the histogram's cumulative state. Like snapshot,
+// the loads are not mutually atomic under concurrent writers; because
+// buckets only ever grow, any snapshot taken strictly after another is
+// per-bucket greater-or-equal, so deltas between ordered snapshots are
+// always non-negative.
+func (h *Histogram) CumSnapshot() HistCum {
+	if h == nil {
+		return HistCum{}
+	}
+	var c HistCum
+	c.Count = h.count.Load()
+	c.Sum = h.sum.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			c.BucketIdx = append(c.BucketIdx, int32(i))
+			c.BucketN = append(c.BucketN, n)
+		}
+	}
+	return c
+}
+
+// HistDelta is the distribution of observations recorded between two
+// cumulative snapshots: a windowed view of a histogram.
+type HistDelta struct {
+	// Count and Sum are the observation count and raw-value sum in the
+	// window.
+	Count int64
+	Sum   int64
+	idx   []int32
+	n     []int64
+}
+
+// Sub returns the delta later − earlier. Snapshots must come from the same
+// histogram with later taken after earlier; any per-bucket decrease (a
+// reset, or snapshots from different instruments) clamps to zero rather
+// than producing negative counts.
+func (later HistCum) Sub(earlier HistCum) HistDelta {
+	d := HistDelta{Count: later.Count - earlier.Count, Sum: later.Sum - earlier.Sum}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	// Merge two index-sorted sparse bucket lists.
+	j := 0
+	for i, idx := range later.BucketIdx {
+		for j < len(earlier.BucketIdx) && earlier.BucketIdx[j] < idx {
+			j++
+		}
+		n := later.BucketN[i]
+		if j < len(earlier.BucketIdx) && earlier.BucketIdx[j] == idx {
+			n -= earlier.BucketN[j]
+		}
+		if n > 0 {
+			d.idx = append(d.idx, idx)
+			d.n = append(d.n, n)
+		}
+	}
+	return d
+}
+
+// Mean returns the raw mean observation in the window (0 when empty).
+func (d HistDelta) Mean() float64 {
+	if d.Count <= 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// Quantile returns the raw-valued q-quantile of the windowed observations,
+// by nearest rank over the bucket deltas — the same estimate (and error
+// bound) Histogram.Quantile gives the lifetime distribution. Returns 0
+// when the window saw nothing.
+func (d HistDelta) Quantile(q float64) int64 {
+	var total int64
+	for _, n := range d.n {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range d.n {
+		seen += n
+		if seen >= rank {
+			lo, hi := bucketBounds(int(d.idx[i]))
+			if int(d.idx[i]) < subCount {
+				return lo
+			}
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0 // unreachable: total > 0
+}
+
+// P50 and P99 are the windowed quantiles the dashboard trends.
+func (d HistDelta) P50() int64 { return d.Quantile(0.50) }
+func (d HistDelta) P99() int64 { return d.Quantile(0.99) }

@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistCumDeltaMatchesFreshHistogram is the delta-snapshot contract:
+// subtracting two cumulative snapshots yields exactly the distribution of
+// the observations recorded between them — same count, same sum, same
+// quantile estimates as a fresh histogram fed only those observations.
+func TestHistCumDeltaMatchesFreshHistogram(t *testing.T) {
+	h := NewHistogram("", 0)
+	for _, v := range []int64{1, 5, 17, 900, 3} {
+		h.Record(v)
+	}
+	before := h.CumSnapshot()
+
+	window := []int64{2, 2, 64, 1000, 1000000, 7, 31, 31, 500}
+	fresh := NewHistogram("", 0)
+	var sum int64
+	for _, v := range window {
+		h.Record(v)
+		fresh.Record(v)
+		sum += v
+	}
+	d := h.CumSnapshot().Sub(before)
+
+	if d.Count != int64(len(window)) {
+		t.Fatalf("delta count = %d, want %d", d.Count, len(window))
+	}
+	if d.Sum != sum {
+		t.Fatalf("delta sum = %d, want %d", d.Sum, sum)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := d.Quantile(q), fresh.Quantile(q); got != want {
+			t.Errorf("delta quantile(%g) = %d, want %d (fresh histogram)", q, got, want)
+		}
+	}
+	if d.Mean() != fresh.Mean() {
+		t.Errorf("delta mean = %g, want %g", d.Mean(), fresh.Mean())
+	}
+}
+
+func TestHistDeltaEmptyWindow(t *testing.T) {
+	h := NewHistogram("", 0)
+	h.Record(42)
+	snap := h.CumSnapshot()
+	d := snap.Sub(snap)
+	if d.Count != 0 || d.Sum != 0 || d.Quantile(0.5) != 0 || d.Mean() != 0 {
+		t.Fatalf("self-delta not empty: %+v", d)
+	}
+	// A reversed subtraction (caller error) clamps rather than going
+	// negative.
+	h.Record(7)
+	if d := snap.Sub(h.CumSnapshot()); d.Count != 0 {
+		t.Fatalf("reversed delta count = %d, want 0", d.Count)
+	}
+	if got := (HistCum{}).Sub(HistCum{}); got.Count != 0 {
+		t.Fatalf("zero-value delta count = %d", got.Count)
+	}
+}
+
+// TestHistoryRingWraparound fills a small ring far past capacity and
+// checks the ring retains exactly the newest samples, oldest first, with
+// sequence numbers that expose how much history fell off.
+func TestHistoryRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zipflm_test_total")
+	h := NewHistory(reg, HistoryConfig{Capacity: 4})
+
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		h.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	if h.Len() != 4 || h.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d, want 4/4", h.Len(), h.Cap())
+	}
+	samples := h.Samples()
+	for i, s := range samples {
+		wantSeq := uint64(6 + i)
+		if s.Seq != wantSeq {
+			t.Errorf("sample %d seq = %d, want %d", i, s.Seq, wantSeq)
+		}
+		if got, want := s.Counters["zipflm_test_total"], int64(7+i); got != want {
+			t.Errorf("sample %d counter = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistoryRateAndWindow(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zipflm_tokens_total")
+	lat := reg.Duration("zipflm_latency_seconds")
+	reg.Gauge("zipflm_depth").SetInt(3)
+	h := NewHistory(reg, HistoryConfig{Capacity: 16})
+
+	t0 := time.Unix(2000, 0)
+	lat.Record(int64(100 * time.Millisecond)) // before the window
+	h.Sample(t0)
+
+	c.Add(100)
+	lat.Record(int64(10 * time.Millisecond))
+	lat.Record(int64(12 * time.Millisecond))
+	h.Sample(t0.Add(2 * time.Second))
+
+	rate, ok := h.Rate("zipflm_tokens_total", 10*time.Second)
+	if !ok || rate != 50 {
+		t.Fatalf("Rate = %g ok=%v, want 50 true", rate, ok)
+	}
+	if _, ok := h.Rate("zipflm_missing_total", 10*time.Second); ok {
+		t.Fatal("Rate of an absent counter reported ok")
+	}
+
+	d, ok := h.Window("zipflm_latency_seconds", 10*time.Second)
+	if !ok {
+		t.Fatal("Window not ok")
+	}
+	if d.Count != 2 {
+		t.Fatalf("windowed count = %d, want 2 (the 100ms pre-window record must be excluded)", d.Count)
+	}
+	p99 := time.Duration(d.P99())
+	if p99 < 10*time.Millisecond || p99 > 13*time.Millisecond {
+		t.Fatalf("windowed p99 = %v, want ≈12ms (not the lifetime 100ms)", p99)
+	}
+	if g := h.Samples()[0].Gauges["zipflm_depth"]; g != 3 {
+		t.Fatalf("gauge in sample = %g, want 3", g)
+	}
+
+	// A window narrower than the sample spacing has no base sample.
+	if _, ok := h.Rate("zipflm_tokens_total", time.Second); ok {
+		t.Fatal("1s window over 2s-spaced samples reported ok")
+	}
+}
+
+func TestHistoryVirtualClock(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zipflm_steps_total")
+	var vnow float64
+	h := NewHistory(reg, HistoryConfig{Capacity: 8, VClock: func() float64 { return vnow }})
+
+	t0 := time.Unix(3000, 0)
+	h.Sample(t0)
+	vnow = 4.0
+	c.Add(8)
+	h.Sample(t0.Add(time.Second))
+
+	if got := h.Samples()[1].VClock; got != 4.0 {
+		t.Fatalf("vclock stamp = %g, want 4", got)
+	}
+	vr, ok := h.VRate("zipflm_steps_total", time.Minute)
+	if !ok || vr != 2 {
+		t.Fatalf("VRate = %g ok=%v, want 2 true (8 steps / 4 virtual seconds)", vr, ok)
+	}
+	wr, ok := h.Rate("zipflm_steps_total", time.Minute)
+	if !ok || wr != 8 {
+		t.Fatalf("Rate = %g ok=%v, want 8 true (8 steps / 1 wall second)", wr, ok)
+	}
+}
+
+// TestHistoryConcurrentRecording drives counters and histograms from many
+// goroutines while a sampler wraps the ring, then checks every invariant
+// the ring promises: per-sample monotone counters, non-negative histogram
+// deltas, strictly increasing sequence numbers. Runs under -race in CI.
+func TestHistoryConcurrentRecording(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(reg, HistoryConfig{Capacity: 8})
+	c := reg.Counter("zipflm_ops_total")
+	lat := reg.Duration("zipflm_op_seconds")
+
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				lat.Record(int64(w*100 + i%50))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		h.Sample(time.Now())
+	}
+	close(stop)
+	wg.Wait()
+	h.Sample(time.Now())
+
+	samples := h.Samples()
+	if len(samples) != 8 {
+		t.Fatalf("ring holds %d samples, want 8", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		prev, cur := samples[i-1], samples[i]
+		if cur.Seq != prev.Seq+1 {
+			t.Fatalf("sample %d seq %d follows %d", i, cur.Seq, prev.Seq)
+		}
+		if cur.Counters["zipflm_ops_total"] < prev.Counters["zipflm_ops_total"] {
+			t.Fatalf("counter went backwards: %d after %d",
+				cur.Counters["zipflm_ops_total"], prev.Counters["zipflm_ops_total"])
+		}
+		d := cur.Hists["zipflm_op_seconds"].Sub(prev.Hists["zipflm_op_seconds"])
+		if d.Count < 0 || d.Sum < 0 {
+			t.Fatalf("negative histogram delta between adjacent samples: %+v", d)
+		}
+		if d.Quantile(0.5) < 0 {
+			t.Fatalf("negative windowed quantile")
+		}
+	}
+}
+
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zipflm_x_total").Add(5)
+	h := NewHistory(reg, HistoryConfig{Capacity: 32, Interval: time.Millisecond})
+	stop := h.Start()
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	n := h.Len()
+	if n == 0 {
+		t.Fatal("background sampler recorded nothing")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if h.Len() != n {
+		t.Fatal("sampler still running after stop")
+	}
+}
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zipflm_a_total").Add(7)
+	reg.Gauge("zipflm_b").Set(1.5)
+	reg.Duration("zipflm_c_seconds").Record(1234)
+	h := NewHistory(reg, HistoryConfig{Capacity: 4, VClock: func() float64 { return 9 }})
+	h.Sample(time.Unix(5000, 0).UTC())
+
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Capacity  int             `json:"capacity"`
+		IntervalS float64         `json:"interval_s"`
+		Samples   []HistorySample `json:"samples"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("export not decodable: %v", err)
+	}
+	if dump.Capacity != 4 || len(dump.Samples) != 1 {
+		t.Fatalf("dump shape: capacity %d, %d samples", dump.Capacity, len(dump.Samples))
+	}
+	s := dump.Samples[0]
+	if s.Counters["zipflm_a_total"] != 7 || s.Gauges["zipflm_b"] != 1.5 || s.VClock != 9 {
+		t.Fatalf("sample round-trip mismatch: %+v", s)
+	}
+	if s.Hists["zipflm_c_seconds"].Count != 1 {
+		t.Fatalf("histogram snapshot missing: %+v", s.Hists)
+	}
+}
+
+func TestHistoryNilSafe(t *testing.T) {
+	var h *History
+	h.Sample(time.Now())
+	h.Start()()
+	if h.Len() != 0 || h.Cap() != 0 || h.Samples() != nil {
+		t.Fatal("nil History not inert")
+	}
+	if _, ok := h.Rate("x", time.Second); ok {
+		t.Fatal("nil Rate ok")
+	}
+	if _, ok := h.VRate("x", time.Second); ok {
+		t.Fatal("nil VRate ok")
+	}
+	if _, ok := h.Window("x", time.Second); ok {
+		t.Fatal("nil Window ok")
+	}
+	if err := h.WriteJSON(nil); err != nil {
+		t.Fatal(err)
+	}
+	if NewHistory(nil, HistoryConfig{}) != nil {
+		t.Fatal("NewHistory(nil) must be nil")
+	}
+}

@@ -215,6 +215,72 @@ func TestHandler(t *testing.T) {
 	}
 }
 
+// TestHandlerContentNegotiation: one endpoint, two formats — the Accept
+// header selects JSON, anything else gets Prometheus text, and the
+// ?format=json alias keeps working (and beats Accept when both appear).
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := buildTestRegistry()
+	h := Handler(r)
+
+	cases := []struct {
+		name, query, accept string
+		wantJSON            bool
+	}{
+		{"bare GET is text", "", "", false},
+		{"accept json", "", "application/json", true},
+		{"accept json with params", "", "application/json; q=0.9", true},
+		{"accept list", "", "text/html, application/json", true},
+		{"accept other", "", "text/plain", false},
+		{"format alias", "?format=json", "", true},
+		{"format text beats accept", "?format=prometheus", "application/json", false},
+		{"format json beats accept", "?format=json", "text/plain", true},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("GET", "/metrics"+tc.query, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		ct := rec.Header().Get("Content-Type")
+		if tc.wantJSON {
+			if ct != "application/json" {
+				t.Errorf("%s: Content-Type = %q, want application/json", tc.name, ct)
+				continue
+			}
+			var snap Snapshot
+			if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+				t.Errorf("%s: body not a JSON snapshot: %v", tc.name, err)
+			}
+		} else if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Errorf("%s: Content-Type = %q, want Prometheus text", tc.name, ct)
+		}
+	}
+}
+
+func TestPublishBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	info := PublishBuildInfo(r)
+	if info.Go == "" || info.GOMAXPROCS < 1 || info.NumCPU < 1 {
+		t.Fatalf("implausible build info: %+v", info)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `zipflm_build_info{version=`) || !strings.Contains(text, `go="`+info.Go+`"`) {
+		t.Errorf("exposition missing build info gauge:\n%s", text)
+	}
+	if !strings.Contains(text, "zipflm_gomaxprocs ") || !strings.Contains(text, "zipflm_numcpu ") {
+		t.Errorf("exposition missing host-shape gauges:\n%s", text)
+	}
+	// Nil registry still reports the info (callers embed it in JSON).
+	if got := PublishBuildInfo(nil); got.Go != info.Go {
+		t.Fatalf("nil-registry PublishBuildInfo: %+v", got)
+	}
+}
+
 func TestTimer(t *testing.T) {
 	r := NewRegistry()
 	h := r.Duration("d")

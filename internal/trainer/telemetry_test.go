@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"testing"
+	"time"
 
 	"zipflm/internal/core"
 	"zipflm/internal/perfmodel"
@@ -187,5 +188,78 @@ func TestTraceviewReconcilesThroughFile(t *testing.T) {
 			a.Steps[i].MaxWait != b.Steps[i].MaxWait {
 			t.Fatalf("step %d attribution diverged between identical analyses", i)
 		}
+	}
+}
+
+// TestObservatoryBitIdentity: the same run with metrics-history sampling
+// AND continuous profiling running concurrently must produce bit-identical
+// weights and losses to the uninstrumented run — the performance
+// observatory extends the observation-never-perturbs contract.
+func TestObservatoryBitIdentity(t *testing.T) {
+	train, valid := smallData(60, 8000, 1)
+	run := func(observed bool) (Result, *Trainer, *telemetry.History, *telemetry.Profiler) {
+		cfg := smallConfig(2, core.UniqueExchange{})
+		var hist *telemetry.History
+		var prof *telemetry.Profiler
+		var stopPhase func()
+		if observed {
+			cfg.Telemetry = telemetry.NewRegistry()
+			sim := cfg.Telemetry.Gauge("zipflm_train_sim_seconds")
+			hist = telemetry.NewHistory(cfg.Telemetry, telemetry.HistoryConfig{
+				Capacity: 64,
+				Interval: time.Millisecond,
+				VClock:   sim.Value,
+			})
+			defer hist.Start()()
+			var err error
+			prof, err = telemetry.NewProfiler(telemetry.ProfilerConfig{Dir: t.TempDir(), Heap: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stopPhase = prof.StartPhase("train-bitident")
+		}
+		trn, err := New(cfg, train, valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := trn.Run(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observed {
+			stopPhase()
+			prof.Stop()
+		}
+		return res, trn, hist, prof
+	}
+
+	plainRes, plainTr, _, _ := run(false)
+	obsRes, obsTr, hist, prof := run(true)
+
+	if plainRes.FinalLoss != obsRes.FinalLoss {
+		t.Fatalf("final loss diverged: %v (off) != %v (on)", plainRes.FinalLoss, obsRes.FinalLoss)
+	}
+	pa, pb := plainTr.Model(0).DenseParams(), obsTr.Model(0).DenseParams()
+	for i := range pa {
+		for j := range pa[i].Value {
+			if pa[i].Value[j] != pb[i].Value[j] {
+				t.Fatalf("weight %s[%d] diverged with the observatory on", pa[i].Name, j)
+			}
+		}
+	}
+
+	// The observers saw the run: a final history sample carries the step
+	// counter, and the profiler indexed its phase captures.
+	samples := hist.Samples()
+	if len(samples) == 0 {
+		t.Fatal("history sampled nothing")
+	}
+	last := samples[len(samples)-1]
+	if last.Counters["zipflm_train_steps_total"] != int64(obsRes.Stats.Steps) {
+		t.Fatalf("final history sample steps=%d, want %d",
+			last.Counters["zipflm_train_steps_total"], obsRes.Stats.Steps)
+	}
+	if len(prof.Manifest()) != 2 {
+		t.Fatalf("profiler manifest has %d entries, want cpu+heap", len(prof.Manifest()))
 	}
 }
